@@ -1,0 +1,91 @@
+"""Ablation — learned cost models versus oracle (ground-truth) costs.
+
+FastT's strategies are only as good as its profiled cost models.  This
+benchmark runs DPOS twice on the same graph: once with cost models
+fitted from a few profiled iterations (the paper's adaptive pipeline)
+and once with oracle models that read the hardware ground truth, then
+compares the *measured* quality of both placements.  Small deltas mean
+the profiling/regression pipeline captures what the scheduler needs.
+"""
+
+from __future__ import annotations
+
+from conftest import label
+
+from repro.cluster import single_server
+from repro.core import DPOS
+from repro.costmodel import (
+    CommunicationCostModel,
+    ComputationCostModel,
+    OracleCommunicationModel,
+    OracleComputationModel,
+)
+from repro.experiments import measure_strategy
+from repro.experiments.reporting import format_table
+from repro.graph import build_data_parallel_training_graph, data_parallel_placement
+from repro.hardware import PerfModel
+from repro.models import get_model
+from repro.profiling import Profiler
+from repro.sim import ExecutionSimulator
+
+MODELS = ("vgg19", "rnnlm", "bert_large")
+GPUS = 4
+
+
+def _measured_time(graph, result, topology, perf) -> float:
+    traces = measure_strategy(graph, result.strategy, topology, perf, steps=2)
+    return sum(t.makespan for t in traces) / len(traces)
+
+
+def compute_costmodel_ablation():
+    rows = []
+    topology = single_server(GPUS)
+    for model_name in MODELS:
+        model = get_model(model_name)
+        graph, _ = build_data_parallel_training_graph(
+            model.builder, GPUS, model.global_batch, name=f"{model_name}_cm"
+        )
+        perf = PerfModel(topology, noise_sigma=0.02, seed=5)
+
+        # Learned: profile the default DP strategy for a few iterations.
+        computation = ComputationCostModel()
+        communication = CommunicationCostModel()
+        profiler = Profiler(
+            ExecutionSimulator(graph, topology, perf), computation, communication
+        )
+        profiler.profile(
+            data_parallel_placement(graph, topology.device_names), num_steps=3
+        )
+        learned = DPOS(topology, computation, communication).run(graph)
+
+        oracle = DPOS(
+            topology,
+            OracleComputationModel(perf),
+            OracleCommunicationModel(perf),
+        ).run(graph)
+
+        learned_time = _measured_time(graph, learned, topology, perf)
+        oracle_time = _measured_time(graph, oracle, topology, perf)
+        delta = (learned_time / oracle_time - 1.0) * 100.0
+        rows.append(
+            [label(model_name), learned_time * 1000.0, oracle_time * 1000.0, delta]
+        )
+    return rows
+
+
+def test_ablation_cost_model_quality(benchmark):
+    rows = benchmark.pedantic(compute_costmodel_ablation, rounds=1, iterations=1)
+    headers = [
+        "Model", "Learned models (ms)", "Oracle models (ms)", "Learned gap %",
+    ]
+    print()
+    print(
+        format_table(
+            headers, rows,
+            title="Ablation: learned vs oracle cost models (4 GPUs, measured)",
+        )
+    )
+    for row in rows:
+        assert row[3] < 50.0, (
+            f"{row[0]}: learned cost models {row[3]:.0f}% worse than oracle"
+        )

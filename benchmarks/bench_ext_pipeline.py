@@ -1,0 +1,60 @@
+"""Extension — GPipe-style micro-batch pipelining (paper Sec. 7).
+
+The paper positions pipeline parallelism as complementary: "After FastT
+obtains operation placement and execution order, it can further split a
+mini-batch into micro-batches and allow pipelined training in the
+similar fashion as proposed in GPipe."  This benchmark sweeps the
+micro-batch count for stage-partitioned deployments of two models and
+shows the pipeline bubble shrinking, plus the comparison against plain
+model parallelism (= one micro-batch) and data parallelism.
+"""
+
+from __future__ import annotations
+
+from conftest import label
+
+from repro.baselines import build_pipeline_strategy
+from repro.cluster import single_server
+from repro.experiments import measure_strategy, trial
+from repro.experiments.reporting import format_table
+from repro.hardware import PerfModel
+from repro.models import get_model
+
+MODELS = ("vgg19", "bert_large")
+MICROBATCHES = (1, 2, 4, 8)
+GPUS = 4
+
+
+def compute_pipeline_sweep():
+    rows = []
+    topology = single_server(GPUS)
+    for model_name in MODELS:
+        model = get_model(model_name)
+        perf = PerfModel(topology, noise_sigma=0.02, seed=17)
+        dp = trial(model_name, "dp", GPUS, 1)
+        cells = [label(model_name), dp.iteration_time * 1000.0]
+        for m in MICROBATCHES:
+            graph, strategy = build_pipeline_strategy(
+                model.builder, topology, model.global_batch, m,
+                name=f"{model_name}_pipe{m}",
+            )
+            traces = measure_strategy(graph, strategy, topology, perf, steps=2)
+            cells.append(sum(t.makespan for t in traces) / len(traces) * 1000.0)
+        rows.append(cells)
+    return rows
+
+
+def test_ext_pipeline_microbatching(benchmark):
+    rows = benchmark.pedantic(compute_pipeline_sweep, rounds=1, iterations=1)
+    headers = ["Model", "DP (ms)"] + [f"pipe m={m} (ms)" for m in MICROBATCHES]
+    print()
+    print(
+        format_table(
+            headers, rows,
+            title="Extension: micro-batch pipelining over 4 GPUs "
+                  "(m=1 is plain model parallelism)",
+        )
+    )
+    for row in rows:
+        m1, m8 = row[2], row[-1]
+        assert m8 < m1, f"{row[0]}: pipelining failed to shrink the bubble"

@@ -1,0 +1,50 @@
+"""Fig. 4 — number of operations assigned to each GPU by FastT.
+
+The paper's observation: unlike DP's perfectly even replica-per-GPU
+layout, FastT's placements are *uneven* — replicas of large-parameter
+operations cluster on one GPU to avoid gradient-aggregation traffic,
+while compute-heavy operations spread out.
+"""
+
+from __future__ import annotations
+
+from conftest import label
+
+from repro.experiments import trial
+from repro.experiments.reporting import format_table
+
+MODELS = ("alexnet", "vgg19", "lenet")
+GPU_COUNTS = (2, 4)
+
+
+def compute_fig4():
+    rows = []
+    for gpus in GPU_COUNTS:
+        for model in MODELS:
+            result = trial(model, "fastt", gpus, 1)
+            counts = [
+                result.ops_per_device.get(dev, 0)
+                for dev in sorted(result.ops_per_device)
+            ]
+            counts += [0] * (gpus - len(counts))
+            rows.append([label(model), gpus, *counts[:gpus], sum(counts)])
+    return rows
+
+
+def test_fig4_op_placement(benchmark):
+    rows = benchmark.pedantic(compute_fig4, rounds=1, iterations=1)
+    width = max(GPU_COUNTS)
+    headers = ["Model", "GPUs"] + [f"gpu{i}" for i in range(width)] + ["total"]
+    padded = [row[:2] + row[2:-1] + [""] * (width - (len(row) - 3)) + row[-1:] for row in rows]
+    print()
+    print(
+        format_table(
+            headers,
+            padded,
+            title="Fig. 4: operations per GPU under FastT",
+        )
+    )
+    for row in rows:
+        counts = [c for c in row[2:-1] if isinstance(c, int)]
+        assert sum(counts) == row[-1]
+        assert all(c >= 0 for c in counts)

@@ -1,0 +1,58 @@
+"""Fig. 5 — computation vs memcpy vs per-iteration time, DP and FastT.
+
+On 2 GPUs, the paper observes that FastT may *increase* total computation
+time (some GPUs process more operations) while reducing memcpy time and
+per-iteration time — the signature of trading communication for local
+work.  Computation and memcpy overlap, so the per-iteration time is not
+their sum.
+"""
+
+from __future__ import annotations
+
+from conftest import label
+
+from repro.experiments import trial
+from repro.experiments.reporting import format_table
+
+MODELS = ("vgg19", "resnet200", "alexnet", "lenet")
+GPUS = 2
+
+
+def compute_fig5():
+    rows = []
+    for model in MODELS:
+        for method in ("dp", "fastt"):
+            result = trial(model, method, GPUS, 1)
+            rows.append(
+                [
+                    label(model),
+                    method,
+                    result.avg_compute_time * 1000.0,
+                    result.total_memcpy_time * 1000.0,
+                    result.iteration_time * 1000.0,
+                ]
+            )
+    return rows
+
+
+def test_fig5_time_breakdown(benchmark):
+    rows = benchmark.pedantic(compute_fig5, rounds=1, iterations=1)
+    headers = [
+        "Model", "Method", "Computation (ms)", "Memcpy (ms)", "Per-iter (ms)",
+    ]
+    print()
+    print(
+        format_table(
+            headers, rows,
+            title="Fig. 5: average computation and memcpy time per iteration (2 GPUs)",
+        )
+    )
+    pairs = {}
+    for row in rows:
+        pairs.setdefault(row[0], {})[row[1]] = row
+    for model, methods in pairs.items():
+        dp, fastt = methods["dp"], methods["fastt"]
+        # FastT's per-iteration time is never substantially worse than DP's.
+        assert fastt[4] <= dp[4] * 1.05, (
+            f"{model}: FastT per-iteration {fastt[4]:.1f}ms vs DP {dp[4]:.1f}ms"
+        )

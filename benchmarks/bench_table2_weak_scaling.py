@@ -1,0 +1,63 @@
+"""Table 2 — training speed (samples/s) with weak scaling.
+
+The per-GPU batch stays fixed, so the global batch grows with the GPU
+count: 1, 2, 4, 8 GPUs on one server and 16 GPUs over two servers.  Weak
+scaling keeps every GPU well utilized under plain DP, so the paper (and
+this reproduction) sees smaller FastT gains than under strong scaling.
+"""
+
+from __future__ import annotations
+
+from conftest import label
+
+from repro.experiments import trial
+from repro.experiments.paper_reference import TABLE2_WEAK_SCALING
+from repro.experiments.reporting import format_table, speedup_percent
+from repro.models import get_model, model_names
+
+CONFIGS = [(1, 1), (2, 1), (4, 1), (8, 1), (16, 2)]
+
+
+def compute_table2():
+    rows = []
+    for model in model_names():
+        per_gpu = get_model(model).per_gpu_batch
+        cells = [label(model)]
+        dp_speeds = []
+        fastt_speeds = []
+        for gpus, servers in CONFIGS:
+            global_batch = per_gpu * gpus
+            dp = trial(model, "dp", gpus, servers, global_batch=global_batch)
+            dp_speed = None if dp.oom else dp.speed
+            dp_speeds.append(dp_speed)
+            cells.append(dp_speed)
+            if gpus > 1:
+                ft = trial(
+                    model, "fastt", gpus, servers, global_batch=global_batch
+                )
+                ft_speed = None if ft.oom else ft.speed
+                fastt_speeds.append(ft_speed)
+                cells.append(ft_speed)
+        best_dp = max((s for s in dp_speeds if s), default=float("nan"))
+        best_ft = max((s for s in fastt_speeds if s), default=float("nan"))
+        cells.append(speedup_percent(best_ft, best_dp))
+        cells.append(TABLE2_WEAK_SCALING[model][2])
+        rows.append(cells)
+    return rows
+
+
+def test_table2_weak_scaling(benchmark):
+    rows = benchmark.pedantic(compute_table2, rounds=1, iterations=1)
+    headers = [
+        "Model", "1GPU DP",
+        "2 DP", "2 FastT", "4 DP", "4 FastT", "8 DP", "8 FastT",
+        "16/2srv DP", "16/2srv FastT", "Speedup%", "Paper%",
+    ]
+    print()
+    print(format_table(headers, rows, title="Table 2: weak scaling (samples/s)"))
+    for row in rows:
+        measured = row[-2]
+        assert measured == measured, f"no speedup computed for {row[0]}"
+        assert measured > -10.0, (
+            f"{row[0]}: FastT more than 10% slower than best DP ({measured:.1f}%)"
+        )

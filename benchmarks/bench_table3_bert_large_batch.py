@@ -1,0 +1,166 @@
+"""Table 3 — training BERT-large with batches data parallelism cannot fit.
+
+The paper shows FastT exploiting 2 GPUs to train BERT-large with global
+batches up to 48 while DP already OOMs at 40 and a single GPU at 32.
+
+Memory calibration: the paper's TF 1.14 runtime loses several GB of the
+16 GB V100 to cuDNN workspace, fragmentation, and runtime state; our
+simulator tracks pure tensor liveness.  We therefore calibrate the
+device capacity to the midpoint between the measured single-GPU peaks of
+batch 16 and batch 32 of the *paper-size* (24-layer) BERT-large — a
+single-parameter fit reproducing "batch 16 fits one GPU, batch 32 does
+not", after which every other cell is measurement, not construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster import Topology, V100, make_devices
+from repro.core import FastTConfig, FastTSession, Strategy
+from repro.experiments.paper_reference import TABLE3_BERT_LARGE
+from repro.experiments.reporting import format_table
+from repro.graph import (
+    build_data_parallel_training_graph,
+    build_single_device_training_graph,
+    data_parallel_placement,
+)
+from repro.hardware import PerfModel
+from repro.models import get_model
+from repro.sim import ExecutionSimulator, SimulationOOMError
+
+BATCHES = (16, 32, 40, 48)
+MODEL = get_model("bert_large", "paper")
+
+
+def _topology(num_gpus: int, capacity_bytes: int) -> Topology:
+    spec = dataclasses.replace(V100, memory_bytes=capacity_bytes)
+    return Topology(make_devices([num_gpus], spec))
+
+
+def _single_gpu_peak(batch: int) -> int:
+    """Peak single-GPU memory of one training step, no capacity limit."""
+    topology = _topology(1, V100.memory_bytes * 16)
+    graph = build_single_device_training_graph(
+        MODEL.builder, batch, name=f"bert_peak_{batch}"
+    )
+    placement = {op.name: topology.device_names[0] for op in graph.ops}
+    sim = ExecutionSimulator(graph, topology, PerfModel(topology), enforce_memory=False)
+    trace = sim.run_step(placement)
+    return max(trace.peak_memory.values())
+
+
+def calibrated_capacity() -> int:
+    return (_single_gpu_peak(16) + _single_gpu_peak(32)) // 2
+
+
+def _iteration_time(graph, strategy, topology) -> float:
+    traces = measure(graph, strategy, topology)
+    return sum(t.makespan for t in traces) / len(traces)
+
+
+def measure(graph, strategy, topology):
+    from repro.experiments.harness import measure_strategy
+
+    return measure_strategy(
+        graph, strategy, topology, PerfModel(topology, noise_sigma=0.02, seed=3),
+        steps=2,
+    )
+
+
+def _single_gpu_cell(batch: int, capacity: int):
+    topology = _topology(1, capacity)
+    graph = build_single_device_training_graph(
+        MODEL.builder, batch, name=f"bert_single_{batch}"
+    )
+    strategy = Strategy(
+        placement={op.name: topology.device_names[0] for op in graph.ops},
+        label="single",
+    )
+    try:
+        return _iteration_time(graph, strategy, topology)
+    except SimulationOOMError:
+        return None
+
+
+def _dp_cell(batch: int, capacity: int):
+    topology = _topology(2, capacity)
+    graph, _ = build_data_parallel_training_graph(
+        MODEL.builder, 2, batch, name=f"bert_dp_{batch}"
+    )
+    strategy = Strategy(
+        placement=data_parallel_placement(graph, topology.device_names),
+        label="dp",
+    )
+    try:
+        return _iteration_time(graph, strategy, topology)
+    except SimulationOOMError:
+        return None
+
+
+def _fastt_cell(batch: int, capacity: int):
+    topology = _topology(2, capacity)
+    config = FastTConfig(
+        max_rounds=2, min_rounds=1, max_candidate_ops=3, split_counts=[2],
+        profiling_steps=1, measure_steps=2,
+    )
+    try:
+        session = FastTSession(
+            MODEL.builder,
+            topology,
+            batch,
+            perf_model=PerfModel(topology, noise_sigma=0.02, seed=3),
+            config=config,
+            model_name="bert_large",
+        )
+        return session.iteration_time()
+    except SimulationOOMError:
+        return None
+
+
+def compute_table3():
+    capacity = calibrated_capacity()
+    rows = []
+    for batch in BATCHES:
+        paper = TABLE3_BERT_LARGE[batch]
+        rows.append(
+            [
+                f"Bert-large({batch})",
+                _single_gpu_cell(batch, capacity),
+                _dp_cell(batch, capacity),
+                _fastt_cell(batch, capacity),
+                paper[0],
+                paper[1],
+                paper[2],
+            ]
+        )
+    return capacity, rows
+
+
+def test_table3_bert_large_batches(benchmark):
+    capacity, rows = benchmark.pedantic(compute_table3, rounds=1, iterations=1)
+    headers = [
+        "Model(batch)", "1GPU", "2GPU DP", "2GPU FastT",
+        "paper 1GPU", "paper DP", "paper FastT",
+    ]
+    print()
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                "Table 3: Bert-large per-iteration time (s); calibrated "
+                f"capacity {capacity / 2 ** 30:.2f} GiB"
+            ),
+        )
+    )
+    by_batch = {int(r[0].split("(")[1].rstrip(")")): r for r in rows}
+    # Calibrated pattern: batch 16 fits everywhere, 32 OOMs on one GPU.
+    assert by_batch[16][1] is not None, "batch 16 must fit a single GPU"
+    assert by_batch[32][1] is None, "batch 32 must OOM on a single GPU"
+    # FastT supports at least as large a batch as DP on 2 GPUs.
+    largest_dp = max((b for b in BATCHES if by_batch[b][2] is not None), default=0)
+    largest_ft = max((b for b in BATCHES if by_batch[b][3] is not None), default=0)
+    assert largest_ft >= largest_dp, (
+        f"FastT supports batch {largest_ft} < DP's {largest_dp}"
+    )

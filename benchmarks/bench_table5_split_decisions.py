@@ -1,0 +1,97 @@
+"""Table 5 — split decisions for representative VGG-19 operations.
+
+The paper's finding: operations that get split have long execution times
+and small parameter footprints (conv kernels); the giant fully-connected
+weights are never split, to avoid broadcasting 100 MB+ parameters to
+every sub-operation.  We reproduce the table with the measured execution
+time, weight size, and FastT's split decision for the same representative
+operations (tower-0 replicas, best-speed-up setting).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import optimized_session
+from repro.experiments.harness import measure_strategy, _perf_model
+from repro.experiments.paper_reference import TABLE5_VGG_SPLITS
+from repro.experiments.reporting import format_table
+
+#: (display name, op name in the DP graph, weight variable or None)
+REPRESENTATIVE_OPS = [
+    ("Conv1_1", "replica_0/conv1_1", "replica_0/conv1_1_w"),
+    ("Conv1_2", "replica_0/conv1_2", "replica_0/conv1_2_w"),
+    ("Conv1_2bp", "replica_0/conv1_2_bp_input", "replica_0/conv1_2_w"),
+    ("Relu1_2", "replica_0/conv1_2_relu", None),
+    ("Pool1", "replica_0/pool1", None),
+    ("Fc6", "replica_0/fc6", "replica_0/fc6_w"),
+]
+
+GPUS = 4  # the paper's best-speed-up setting for VGG-19
+
+
+def compute_table5():
+    session = optimized_session("vgg19", GPUS)
+    report = session.optimize()
+    split_ops = {d.op_name for d in report.strategy.split_list}
+    # Profile the *input* (pre-split) graph so the representative op names
+    # still exist and their times are directly comparable.
+    graph = session.input_graph
+    traces = measure_strategy(
+        graph,
+        session.initial_strategy,
+        session.topology,
+        _perf_model(session.topology, 31),
+        steps=2,
+    )
+    durations = {}
+    for trace in traces:
+        for rec in trace.op_records:
+            durations.setdefault(rec.op_name, []).append(rec.duration)
+
+    rows = []
+    for display, op_name, weight_name in REPRESENTATIVE_OPS:
+        samples = durations.get(op_name, [0.0])
+        time_ms = sum(samples) / len(samples) * 1000.0
+        # The paper's "Weight(KB)" column is the parameter count / 1000
+        # (its fc6 value 102764.544 is exactly 25088*4096 + 4096 biases).
+        weight_kb = (
+            graph.get_op(weight_name).outputs[0].num_elements / 1000.0
+            if weight_name is not None and weight_name in graph
+            else 0.0
+        )
+        split = op_name in split_ops
+        paper_time, paper_weight, paper_split = TABLE5_VGG_SPLITS[
+            display.lower()
+        ]
+        rows.append(
+            [display, time_ms, weight_kb, split, paper_time, paper_weight,
+             paper_split]
+        )
+    return rows, [
+        {"op": d.op_name, "dim": d.dim, "n": d.num_splits}
+        for d in report.strategy.split_list
+    ]
+
+
+def test_table5_split_decisions(benchmark):
+    rows, split_list = benchmark.pedantic(compute_table5, rounds=1, iterations=1)
+    headers = [
+        "Operation", "Time(ms)", "Weight(KB)", "Split",
+        "paper ms", "paper KB", "paper split",
+    ]
+    print()
+    print(
+        format_table(
+            headers, rows,
+            title=f"Table 5: VGG-19 split decisions ({GPUS} GPUs)",
+        )
+    )
+    print(f"full split list: {split_list}")
+    by_name = {row[0]: row for row in rows}
+    # Shape assertions mirroring the paper's reasoning:
+    # the fc layer with 100 MB weights is never split,
+    assert not by_name["Fc6"][3], "Fc6 must not be split (huge parameters)"
+    # cheap glue ops are never split,
+    assert not by_name["Relu1_2"][3] and not by_name["Pool1"][3]
+    # and anything FastT did split is a Conv2D/Conv2Dbp-class op.
+    for decision in split_list:
+        assert "conv" in decision["op"], f"unexpected split of {decision['op']}"

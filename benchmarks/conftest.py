@@ -1,0 +1,33 @@
+"""Shared fixtures/utilities for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation.  Metrics of interest are *simulated* quantities (training
+speed, per-iteration time) printed as tables; pytest-benchmark records
+the harness wall time, which is only itself the headline metric for
+Table 4 (strategy-computation time).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Results are cached under ``benchmarks/.cache`` so repeated runs are fast;
+delete that directory to force recomputation.
+"""
+
+from __future__ import annotations
+
+MODEL_LABELS = {
+    "inception_v3": "Inception_v3",
+    "vgg19": "VGG-19",
+    "resnet200": "ResNet200",
+    "lenet": "LeNet",
+    "alexnet": "AlexNet",
+    "gnmt": "GNMT(4 layers)",
+    "rnnlm": "RNNLM",
+    "transformer": "Transformer",
+    "bert_large": "Bert-large",
+}
+
+
+def label(model_name: str) -> str:
+    return MODEL_LABELS.get(model_name, model_name)

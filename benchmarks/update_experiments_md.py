@@ -1,0 +1,85 @@
+"""Inject the benchmark suite's printed tables into EXPERIMENTS.md.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only -s | tee bench_output.txt
+    python benchmarks/update_experiments_md.py bench_output.txt
+
+Each table printed by a benchmark starts with a known title line; this
+script lifts the table block (title + header + rows) into the matching
+``<!-- TAG -->`` placeholder of EXPERIMENTS.md as a fenced code block.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: placeholder tag -> list of table-title prefixes to capture (in order).
+SECTIONS = {
+    "TABLE1": ["Table 1:"],
+    "TABLE2": ["Table 2:"],
+    "TABLE3": ["Table 3:"],
+    "TABLE4": ["Table 4:"],
+    "TABLE5": ["Table 5:"],
+    "TABLE6": ["Table 6:"],
+    "FIG2": ["Fig. 2:"],
+    "FIG3": ["Fig. 3:"],
+    "FIG4": ["Fig. 4:"],
+    "FIG5": ["Fig. 5:"],
+    "ABLATIONS": [
+        "Ablation: DPOS idle-slot insertion",
+        "Ablation: learned vs oracle cost models",
+        "Extension: micro-batch pipelining",
+    ],
+}
+
+
+def extract_block(lines, start_index):
+    """A table block: the title, header, separator, and aligned rows."""
+    block = [lines[start_index]]
+    i = start_index + 1
+    while i < len(lines):
+        line = lines[i]
+        if ("|" in line) or set(line.strip()) <= {"-", "+"} and line.strip():
+            block.append(line)
+            i += 1
+        else:
+            break
+    return block
+
+
+def collect_tables(output_text):
+    lines = output_text.splitlines()
+    found = {}
+    for i, line in enumerate(lines):
+        for tag, prefixes in SECTIONS.items():
+            for prefix in prefixes:
+                if line.strip().startswith(prefix):
+                    found.setdefault(tag, []).append(
+                        "\n".join(extract_block(lines, i))
+                    )
+    return found
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        raise SystemExit(__doc__)
+    output_text = Path(sys.argv[1]).read_text()
+    tables = collect_tables(output_text)
+    experiments = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    text = experiments.read_text()
+    for tag, blocks in tables.items():
+        rendered = "```\n" + "\n\n".join(blocks) + "\n```"
+        marker = f"<!-- {tag} -->"
+        pattern = re.compile(
+            re.escape(marker) + r"(?:\n```.*?```)?", flags=re.DOTALL
+        )
+        text = pattern.sub(marker + "\n" + rendered, text, count=1)
+    experiments.write_text(text)
+    print(f"updated {experiments} with {sorted(tables)} ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Deploying a custom model: the transparent-module promise.
+
+FastT's headline property is that developers keep their model code.  Here
+a custom encoder (conv front-end + attention + wide classifier head) is
+written once as a plain builder function; the same builder then drives
+(a) the DP baseline, (b) greedy model parallelism, and (c) FastT — no
+model changes between strategies.  Also shows how to inspect the
+computed execution order and apply an explicit operation split by hand.
+
+    python examples/custom_model.py
+"""
+
+from repro import FastTConfig, FastTSession, PerfModel
+from repro.cluster import single_server
+from repro.core import Strategy
+from repro.experiments import measure_strategy
+from repro.graph import (
+    Graph,
+    build_data_parallel_training_graph,
+    build_single_device_training_graph,
+    data_parallel_placement,
+    split_operation,
+)
+from repro.baselines import model_parallel_strategy
+from repro.models import LayerHelper
+
+
+def build_custom_encoder(graph: Graph, prefix: str, batch: int):
+    """A hybrid model: conv stem, one attention block, wide classifier."""
+    net = LayerHelper(graph, prefix)
+    images = net.placeholder("images", (batch, 32, 32, 3))
+    y = net.conv(images, "stem1", ksize=3, out_channels=32)
+    y = net.conv(y, "stem2", ksize=3, out_channels=64, stride=2)
+    y = net.flatten(y, "tokens_flat")            # [batch, 16*16*64]
+    y = net.dense(y, "project", 256, relu=True)  # [batch, 256]
+    attended = net.multi_head_attention(
+        y, y, "attn", batch=batch, query_len=1, memory_len=1,
+        num_heads=4, model_dim=256,
+    )
+    y = net.layer_norm(net.residual_add(y, attended, "res"), "ln")
+    y = net.dense(y, "wide_fc", 4096, relu=True)
+    logits = net.dense(y, "classifier", 100)
+    return net.softmax_loss(logits)
+
+
+def main() -> None:
+    topology = single_server(4)
+    perf = PerfModel(topology, noise_sigma=0.01, seed=13)
+    batch = 128
+
+    def mean_time(graph, strategy):
+        traces = measure_strategy(graph, strategy, topology, perf, steps=3)
+        return sum(t.makespan for t in traces) / len(traces)
+
+    # (a) data parallelism
+    dp_graph, _ = build_data_parallel_training_graph(
+        build_custom_encoder, 4, batch, name="custom_dp"
+    )
+    dp_strategy = Strategy(
+        placement=data_parallel_placement(dp_graph, topology.device_names)
+    )
+    dp_time = mean_time(dp_graph, dp_strategy)
+
+    # (b) greedy model parallelism on the single-model DAG
+    mp_graph = build_single_device_training_graph(
+        build_custom_encoder, batch, name="custom_mp"
+    )
+    mp_strategy = model_parallel_strategy(mp_graph, topology)
+    mp_time = mean_time(mp_graph, mp_strategy)
+
+    # (c) FastT, same builder, zero model changes
+    session = FastTSession(
+        build_custom_encoder, topology, batch,
+        perf_model=PerfModel(topology, noise_sigma=0.01, seed=13),
+        config=FastTConfig(max_rounds=3, max_candidate_ops=5),
+        model_name="custom",
+    )
+    report = session.optimize()
+    fastt_time = report.measured_time
+
+    print("strategy comparison (per-iteration time):")
+    print(f"  data parallel : {dp_time * 1000:8.2f} ms")
+    print(f"  model parallel: {mp_time * 1000:8.2f} ms")
+    print(f"  FastT         : {fastt_time * 1000:8.2f} ms "
+          f"({report.strategy.label})")
+
+    order = report.strategy.order
+    if order:
+        print(f"\nfirst 8 ops of FastT's enforced execution order "
+              f"(of {len(order)}):")
+        for name in order[:8]:
+            print(f"  {name} -> {report.strategy.placement[name]}")
+    else:
+        print("\nwinning strategy keeps the executor's FIFO order "
+              "(no enforced order list); sample placement:")
+        for name in list(report.strategy.placement)[:8]:
+            print(f"  {name} -> {report.strategy.placement[name]}")
+
+    # Manual fine-grained parallelism with the same rewrite Alg. 2 uses:
+    demo = build_single_device_training_graph(
+        build_custom_encoder, batch, name="custom_manual"
+    )
+    target = demo.get_op("wide_fc")
+    subs = split_operation(demo, target, "column", 4)
+    demo.validate()
+    print(f"\nmanually split {target.name!r} into "
+          f"{[s.name for s in subs]} (column-wise model parallelism); "
+          "graph still validates and computes the same function.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Quickstart: let FastT deploy AlexNet over 8 simulated V100s.
+
+Runs the full workflow of the paper: build the data-parallel input graph,
+bootstrap the cost models by profiling a few iterations, compute a
+placement / execution order / split list with OS-DPOS, activate it with
+rollback protection, then report training speed against the plain
+data-parallel baseline.
+
+    python examples/quickstart.py
+"""
+
+from repro import FastTConfig, FastTSession, PerfModel
+from repro.cluster import single_server
+from repro.experiments import run_data_parallel_trial
+from repro.models import get_model
+
+
+def main() -> None:
+    model = get_model("alexnet")
+    topology = single_server(8)
+    print(f"model: {model.name}  global batch: {model.global_batch}")
+    print(f"cluster: {len(topology.devices)}x {topology.devices[0].spec.model}")
+
+    session = FastTSession(
+        model.builder,
+        topology,
+        global_batch=model.global_batch,
+        perf_model=PerfModel(topology, noise_sigma=0.02, seed=7),
+        config=FastTConfig(max_rounds=3, max_candidate_ops=6),
+        model_name=model.name,
+    )
+    report = session.optimize()
+
+    print("\n--- FastT pre-training stage ---")
+    for record in report.rounds:
+        status = []
+        if record.activated:
+            status.append("activated new strategy")
+        if record.rolled_back:
+            status.append("rolled back")
+        if record.stable:
+            status.append("cost models stable")
+        measured = (
+            f"{record.measured_time * 1000:.1f} ms"
+            if record.measured_time is not None
+            else "OOM"
+        )
+        print(
+            f"round {record.round_index}: {record.strategy_label:>13s} "
+            f"measured {measured:>9s}  {'; '.join(status)}"
+        )
+    print(f"strategy search took {report.total_search_seconds:.1f} s "
+          f"(algorithm: {report.algorithm_seconds:.1f} s)")
+
+    strategy = report.strategy
+    print("\n--- winning strategy ---")
+    print(f"label: {strategy.label}")
+    print(f"devices used: {len(strategy.devices_used())}")
+    if strategy.split_list:
+        print("operation splits:")
+        for decision in strategy.split_list:
+            print(f"  {decision.op_name} on dim {decision.dim!r} "
+                  f"x{decision.num_splits}")
+    else:
+        print("no operation splits")
+
+    dp = run_data_parallel_trial(model, 8, 1, model.global_batch)
+    fastt_speed = session.training_speed()
+    print("\n--- training speed (samples/s) ---")
+    print(f"data parallel: {dp.speed:10.1f}")
+    print(f"FastT:         {fastt_speed:10.1f}  "
+          f"({(fastt_speed / dp.speed - 1) * 100:+.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept so ``pip install -e .`` works on environments without the ``wheel``
+package (legacy editable installs go through ``setup.py develop``).
+"""
+from setuptools import setup
+
+setup()

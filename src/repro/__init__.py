@@ -1,0 +1,69 @@
+"""repro — a from-scratch reproduction of FastT (Middleware '20).
+
+*Fast Training of Deep Learning Models over Multiple GPUs*,
+Yi, Luo, Meng, Wang, Long, Wu, Yang, Lin — Middleware 2020.
+
+The package implements the paper's white-box strategy engine (DPOS and
+OS-DPOS list scheduling, adaptive profiled cost models, priority-based
+order enforcement, the checkpoint/restart activation workflow) together
+with every substrate it needs in a GPU-less environment: a dataflow-graph
+IR with autodiff and split/concat rewrites, a model zoo of the nine
+benchmark DNNs, a cluster/interconnect model of the V100 testbed, and a
+discrete-event multi-GPU execution simulator that stands in for the
+physical machines.
+
+Quick start::
+
+    from repro import FastTSession
+    from repro.cluster import single_server
+    from repro.models import get_model
+
+    model = get_model("vgg19")
+    session = FastTSession(
+        model.builder, single_server(4), global_batch=model.global_batch
+    )
+    report = session.optimize()       # pre-training: profile + OS-DPOS
+    print(session.training_speed())   # samples/second under the strategy
+"""
+
+from .cluster import Topology, cluster_for, single_server, two_servers
+from .core import (
+    DPOS,
+    OSDPOS,
+    CalculationReport,
+    FastTConfig,
+    FastTSession,
+    Strategy,
+    StrategyCalculator,
+)
+from .costmodel import CommunicationCostModel, ComputationCostModel
+from .graph import Graph, build_training_graph
+from .hardware import PerfModel
+from .models import get_model, model_names
+from .sim import ExecutionSimulator, SimulationOOMError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CalculationReport",
+    "CommunicationCostModel",
+    "ComputationCostModel",
+    "DPOS",
+    "ExecutionSimulator",
+    "FastTConfig",
+    "FastTSession",
+    "Graph",
+    "OSDPOS",
+    "PerfModel",
+    "SimulationOOMError",
+    "Strategy",
+    "StrategyCalculator",
+    "Topology",
+    "build_training_graph",
+    "cluster_for",
+    "get_model",
+    "model_names",
+    "single_server",
+    "two_servers",
+    "__version__",
+]

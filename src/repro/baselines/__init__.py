@@ -1,0 +1,33 @@
+"""Baseline strategies: data/model parallelism and search-based proxies."""
+
+from .data_parallel import (
+    build_data_parallel_baseline,
+    data_parallel_strategy,
+    strong_scaling_batch,
+    weak_scaling_batch,
+)
+from .flexflow import FlexFlowConfig, flexflow_search
+from .gdp import GDPConfig, gdp_placement
+from .model_parallel import model_parallel_strategy
+from .pipeline import build_pipeline_strategy
+from .post import PostConfig, post_placement
+from .reinforce import ReinforceConfig, reinforce_placement
+from .search_common import PlacementEvaluator
+
+__all__ = [
+    "FlexFlowConfig",
+    "GDPConfig",
+    "PlacementEvaluator",
+    "PostConfig",
+    "ReinforceConfig",
+    "build_data_parallel_baseline",
+    "build_pipeline_strategy",
+    "data_parallel_strategy",
+    "flexflow_search",
+    "gdp_placement",
+    "model_parallel_strategy",
+    "post_placement",
+    "reinforce_placement",
+    "strong_scaling_batch",
+    "weak_scaling_batch",
+]

@@ -1,0 +1,56 @@
+"""Pure data parallelism — the paper's primary baseline (TF-slim style).
+
+One model replica per GPU, gradients aggregated across replicas, FIFO
+executor order, no operation splitting.  Table 1 (strong scaling) keeps
+the global batch fixed as GPUs are added; Table 2 (weak scaling) keeps
+the per-GPU batch fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..cluster import Topology
+from ..core.strategy import Strategy
+from ..graph import (
+    Graph,
+    ModelBuilder,
+    ReplicatedGraphInfo,
+    build_data_parallel_training_graph,
+    data_parallel_placement,
+)
+
+
+def data_parallel_strategy(
+    graph: Graph, topology: Topology
+) -> Strategy:
+    """The default DP strategy for an already-replicated graph."""
+    placement = data_parallel_placement(graph, topology.device_names)
+    return Strategy(placement=placement, order=[], label="data-parallel")
+
+
+def build_data_parallel_baseline(
+    model_builder: ModelBuilder,
+    topology: Topology,
+    global_batch: int,
+    name: str = "dp_baseline",
+) -> Tuple[Graph, ReplicatedGraphInfo, Strategy]:
+    """Replicated graph + default placement for a model and cluster."""
+    graph, info = build_data_parallel_training_graph(
+        model_builder,
+        num_replicas=len(topology.devices),
+        global_batch=global_batch,
+        name=name,
+    )
+    return graph, info, data_parallel_strategy(graph, topology)
+
+
+def strong_scaling_batch(global_batch: int, num_devices: int) -> int:
+    """Strong scaling: the global batch stays fixed (Table 1)."""
+    del num_devices
+    return global_batch
+
+
+def weak_scaling_batch(per_gpu_batch: int, num_devices: int) -> int:
+    """Weak scaling: per-GPU batch fixed, global batch grows (Table 2)."""
+    return per_gpu_batch * num_devices

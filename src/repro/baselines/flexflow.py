@@ -1,0 +1,139 @@
+"""FlexFlow proxy (Jia et al., 2018): MCMC over a SOAP-like space.
+
+FlexFlow searches placement *and* intra-operation parallelism with
+Metropolis-Hastings guided by an execution simulator.  The proxy mirrors
+that: its move set re-places single operations and toggles batch/channel
+splits of splittable operations, accepting by simulated step time with
+an annealed temperature.  Because its solution space strictly contains
+the placement-only proxies' space, given enough budget it can edge out
+FastT — the relationship Fig. 3 of the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster import Topology
+from ..core.strategy import Strategy
+from ..graph import Graph
+from ..graph.rewrite import SplitDecision, SplitError, apply_split_list
+from ..hardware import PerfModel
+from .search_common import PlacementEvaluator
+
+
+@dataclass
+class FlexFlowConfig:
+    iterations: int = 80
+    initial_temperature: float = 0.25  # relative to the initial makespan
+    cooling: float = 0.97
+    split_move_probability: float = 0.15
+    seed: int = 0
+
+
+def _initial_placement(graph: Graph, devices: List[str]) -> Dict[str, str]:
+    """Round-robin over topological order (FlexFlow's random-ish start)."""
+    return {
+        op.name: devices[i % len(devices)]
+        for i, op in enumerate(graph.topological_order())
+    }
+
+
+def flexflow_search(
+    graph: Graph,
+    topology: Topology,
+    perf_model: Optional[PerfModel] = None,
+    config: Optional[FlexFlowConfig] = None,
+) -> Tuple[Strategy, Graph]:
+    """MCMC search over (placement, splits); returns strategy and graph."""
+    config = config or FlexFlowConfig()
+    rng = np.random.default_rng(config.seed)
+    devices = topology.device_names
+
+    current_splits: List[SplitDecision] = []
+    current_graph = graph.copy()
+    current_placement = _initial_placement(current_graph, devices)
+    evaluator = PlacementEvaluator(current_graph, topology, perf_model)
+    current_time = evaluator.evaluate(current_placement)
+
+    best = (current_time, dict(current_placement), current_graph, list(current_splits))
+    temperature = config.initial_temperature * (
+        current_time if np.isfinite(current_time) else 1.0
+    )
+
+    splittable = [
+        op.name for op in graph.ops if op.is_splittable
+    ]
+
+    for _ in range(config.iterations):
+        do_split_move = splittable and rng.random() < config.split_move_probability
+        if do_split_move:
+            op_name = str(rng.choice(splittable))
+            if any(d.op_name == op_name for d in current_splits):
+                candidate_splits = [
+                    d for d in current_splits if d.op_name != op_name
+                ]
+            else:
+                base_op = graph.get_op(op_name)
+                dim = str(rng.choice(sorted(base_op.split_dims)))
+                candidate_splits = current_splits + [
+                    SplitDecision(op_name, dim, min(2, len(devices)) if len(devices) >= 2 else 2)
+                ]
+            candidate_graph = graph.copy()
+            try:
+                apply_split_list(candidate_graph, candidate_splits)
+            except SplitError:
+                continue
+            candidate_placement = {}
+            for op in candidate_graph.ops:
+                previous = current_placement.get(op.name)
+                candidate_placement[op.name] = (
+                    previous
+                    if previous is not None
+                    else devices[int(rng.integers(len(devices)))]
+                )
+            candidate_evaluator = PlacementEvaluator(
+                candidate_graph, topology, perf_model
+            )
+            candidate_time = candidate_evaluator.evaluate(candidate_placement)
+        else:
+            op_names = list(current_placement)
+            op_name = str(rng.choice(op_names))
+            candidate_placement = dict(current_placement)
+            candidate_placement[op_name] = devices[int(rng.integers(len(devices)))]
+            candidate_graph = current_graph
+            candidate_splits = current_splits
+            candidate_evaluator = evaluator
+            candidate_time = evaluator.evaluate(candidate_placement)
+
+        accept = candidate_time < current_time
+        if not accept and np.isfinite(candidate_time) and temperature > 0:
+            accept = rng.random() < np.exp(
+                (current_time - candidate_time) / temperature
+            )
+        if accept:
+            current_time = candidate_time
+            current_placement = candidate_placement
+            current_graph = candidate_graph
+            current_splits = list(candidate_splits)
+            evaluator = candidate_evaluator
+            if candidate_time < best[0]:
+                best = (
+                    candidate_time,
+                    dict(candidate_placement),
+                    candidate_graph,
+                    list(candidate_splits),
+                )
+        temperature *= config.cooling
+
+    best_time, best_placement, best_graph, best_splits = best
+    strategy = Strategy(
+        placement=best_placement,
+        order=[],
+        split_list=best_splits,
+        estimated_time=best_time,
+        label="flexflow",
+    )
+    return strategy, best_graph

@@ -1,0 +1,23 @@
+"""Greedy layer-wise model parallelism baseline.
+
+The partitioning logic lives in :func:`repro.core.placer.model_parallel_placement`
+(FastT itself needs it as the starting strategy for models too large for
+one GPU); this module packages it as a strategy for the benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+from ..cluster import Topology
+from ..core.placer import model_parallel_placement
+from ..core.strategy import Strategy
+from ..graph import Graph
+
+
+def model_parallel_strategy(graph: Graph, topology: Topology) -> Strategy:
+    """Model-parallel placement with FIFO executor order."""
+    return Strategy(
+        placement=model_parallel_placement(graph, topology),
+        order=[],
+        label="model-parallel",
+    )

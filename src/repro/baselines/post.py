@@ -1,0 +1,85 @@
+"""Post placement proxy (Gao et al., NeurIPS'18).
+
+Post combines cross-entropy minimization with proximal policy
+optimization; the essential mechanic is maintaining a per-op categorical
+distribution, sampling placements, and moving the distribution toward
+the elite fraction under a proximal (trust-region-like) damping.  The
+proxy keeps that structure with a small budget.  Placement-only search,
+as in the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..cluster import Topology
+from ..core.strategy import Strategy
+from ..graph import Graph
+from ..hardware import PerfModel
+from .search_common import (
+    PlacementEvaluator,
+    placement_from_assignment,
+    strategy_from_placement,
+)
+
+
+@dataclass
+class PostConfig:
+    iterations: int = 10
+    samples_per_iteration: int = 8
+    elite_fraction: float = 0.25
+    proximal_step: float = 0.5  # damping toward the elite distribution
+    seed: int = 0
+
+
+def post_placement(
+    graph: Graph,
+    topology: Topology,
+    perf_model: Optional[PerfModel] = None,
+    config: Optional[PostConfig] = None,
+) -> Strategy:
+    """Cross-entropy + proximal update search over placements."""
+    config = config or PostConfig()
+    rng = np.random.default_rng(config.seed)
+    devices = topology.device_names
+    op_names = [op.name for op in graph.ops]
+    num_ops, num_devices = len(op_names), len(devices)
+    evaluator = PlacementEvaluator(graph, topology, perf_model)
+
+    probs = np.full((num_ops, num_devices), 1.0 / num_devices)
+    best_time = float("inf")
+    best_assignment = np.zeros(num_ops, dtype=np.int64)
+
+    num_elites = max(1, int(config.samples_per_iteration * config.elite_fraction))
+    for _ in range(config.iterations):
+        samples = []
+        for _ in range(config.samples_per_iteration):
+            cumulative = probs.cumsum(axis=1)
+            draws = rng.random((num_ops, 1))
+            assignment = (draws > cumulative).sum(axis=1)
+            elapsed = evaluator.evaluate(
+                placement_from_assignment(op_names, assignment, devices)
+            )
+            samples.append((elapsed, assignment))
+            if elapsed < best_time:
+                best_time = elapsed
+                best_assignment = assignment.copy()
+        samples.sort(key=lambda pair: pair[0])
+        elites = [a for t, a in samples[:num_elites] if np.isfinite(t)]
+        if not elites:
+            continue
+        elite_probs = np.zeros_like(probs)
+        for assignment in elites:
+            elite_probs[np.arange(num_ops), assignment] += 1.0
+        elite_probs /= len(elites)
+        # Proximal damping: move only part-way toward the elite empirical
+        # distribution, the trust-region flavour of Post's PPO component.
+        probs = (1 - config.proximal_step) * probs + config.proximal_step * elite_probs
+        probs = np.maximum(probs, 1e-6)
+        probs /= probs.sum(axis=1, keepdims=True)
+
+    placement = placement_from_assignment(op_names, best_assignment, devices)
+    return strategy_from_placement(placement, "post", best_time)

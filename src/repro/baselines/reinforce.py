@@ -1,0 +1,84 @@
+"""REINFORCE placement proxy (Mirhoseini et al., ICML'17).
+
+A softmax policy over devices per operation, trained with the score-
+function estimator against simulated step time.  Like the original, the
+search space is *device placement only* — no operation splitting, FIFO
+execution order — which is why FastT's larger solution space beats it
+(Sec. 6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..cluster import Topology
+from ..core.strategy import Strategy
+from ..graph import Graph
+from ..hardware import PerfModel
+from .search_common import (
+    PlacementEvaluator,
+    placement_from_assignment,
+    strategy_from_placement,
+)
+
+
+@dataclass
+class ReinforceConfig:
+    """Search budget; tiny compared to the tens of server-hours the
+    original spends, scaled to the simulator's evaluation cost."""
+
+    iterations: int = 12
+    samples_per_iteration: int = 6
+    learning_rate: float = 1.0
+    entropy_floor: float = 1e-6
+    seed: int = 0
+
+
+def reinforce_placement(
+    graph: Graph,
+    topology: Topology,
+    perf_model: Optional[PerfModel] = None,
+    config: Optional[ReinforceConfig] = None,
+) -> Strategy:
+    """Run the REINFORCE proxy and return the best placement found."""
+    config = config or ReinforceConfig()
+    rng = np.random.default_rng(config.seed)
+    devices = topology.device_names
+    op_names = [op.name for op in graph.ops]
+    num_ops, num_devices = len(op_names), len(devices)
+    evaluator = PlacementEvaluator(graph, topology, perf_model)
+
+    logits = np.zeros((num_ops, num_devices))
+    baseline: Optional[float] = None
+    best_time = float("inf")
+    best_assignment = np.zeros(num_ops, dtype=np.int64)
+
+    for _ in range(config.iterations):
+        probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        probs = np.maximum(probs, config.entropy_floor)
+        probs /= probs.sum(axis=1, keepdims=True)
+        for _ in range(config.samples_per_iteration):
+            cumulative = probs.cumsum(axis=1)
+            draws = rng.random((num_ops, 1))
+            assignment = (draws > cumulative).sum(axis=1)
+            placement = placement_from_assignment(op_names, assignment, devices)
+            elapsed = evaluator.evaluate(placement)
+            if elapsed < best_time:
+                best_time = elapsed
+                best_assignment = assignment.copy()
+            if not np.isfinite(elapsed):
+                continue
+            reward = -elapsed
+            baseline = reward if baseline is None else 0.9 * baseline + 0.1 * reward
+            advantage = reward - baseline
+            # Score-function update: push sampled choices by the advantage.
+            grad = -probs
+            grad[np.arange(num_ops), assignment] += 1.0
+            logits += config.learning_rate * advantage / max(abs(baseline), 1e-12) * grad
+
+    placement = placement_from_assignment(op_names, best_assignment, devices)
+    return strategy_from_placement(placement, "reinforce", best_time)

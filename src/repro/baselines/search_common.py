@@ -1,0 +1,65 @@
+"""Shared machinery for the search-based placement baselines (Fig. 3).
+
+The paper compares FastT against numbers *reported by* REINFORCE, GDP,
+Post, and FlexFlow.  Running in a simulator instead, we can do better
+than copying numbers: each proxy here is an honest small-budget
+implementation of the corresponding search idea, evaluated on the same
+simulated testbed as FastT.  All proxies pay for candidate evaluation
+with full step simulations — which is exactly why they need orders of
+magnitude more evaluations (and in the original papers, GPU-hours) than
+FastT's white-box heuristic needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster import Topology
+from ..core.strategy import Strategy
+from ..graph import Graph
+from ..hardware import PerfModel
+from ..sim import ExecutionSimulator, SimulationOOMError
+
+
+class PlacementEvaluator:
+    """Scores placements by simulated per-iteration time."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        topology: Topology,
+        perf_model: Optional[PerfModel] = None,
+    ) -> None:
+        self.graph = graph
+        self.topology = topology
+        self.perf = perf_model or PerfModel(topology)
+        self.simulator = ExecutionSimulator(graph, topology, self.perf)
+        self.evaluations = 0
+
+    def evaluate(self, placement: Dict[str, str]) -> float:
+        """Makespan of one simulated step; ``inf`` when the placement OOMs."""
+        self.evaluations += 1
+        try:
+            return self.simulator.run_step(placement).makespan
+        except SimulationOOMError:
+            return float("inf")
+
+
+def placement_from_assignment(
+    op_names: Sequence[str], assignment: np.ndarray, devices: Sequence[str]
+) -> Dict[str, str]:
+    """Vector of device indices -> placement dict."""
+    return {name: devices[int(d)] for name, d in zip(op_names, assignment)}
+
+
+def strategy_from_placement(
+    placement: Dict[str, str], label: str, estimated: float
+) -> Strategy:
+    return Strategy(
+        placement=dict(placement),
+        order=[],
+        estimated_time=estimated,
+        label=label,
+    )

@@ -1,0 +1,21 @@
+"""Cluster model: devices, interconnect topology, and testbed presets."""
+
+from .device import GiB, V100, Device, DeviceSpec
+from .presets import cluster_for, make_devices, single_server, two_servers
+from .topology import ETHERNET, NVLINK, PCIE, LinkSpec, Topology
+
+__all__ = [
+    "Device",
+    "DeviceSpec",
+    "ETHERNET",
+    "GiB",
+    "LinkSpec",
+    "NVLINK",
+    "PCIE",
+    "Topology",
+    "V100",
+    "cluster_for",
+    "make_devices",
+    "single_server",
+    "two_servers",
+]

@@ -1,0 +1,58 @@
+"""Device model: the GPUs FastT places operations onto.
+
+Capacities mirror the paper's testbed (NVIDIA Tesla V100, 16 GB HBM2).
+The *peak* numbers below feed only the ground-truth hardware model in
+:mod:`repro.hardware`; FastT's algorithms never read them — they see
+profiled times, exactly as on the physical testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+GiB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware capabilities of one accelerator model."""
+
+    model: str
+    memory_bytes: int
+    peak_flops: float          # FP32 FLOP/s
+    memory_bandwidth: float    # bytes/s
+    kernel_launch_overhead: float  # seconds per kernel
+
+
+#: The paper's GPU: Tesla V100-SXM2-16GB (15.7 TFLOPS FP32, 900 GB/s HBM2).
+V100 = DeviceSpec(
+    model="Tesla V100-SXM2-16GB",
+    memory_bytes=16 * GiB,
+    peak_flops=15.7e12,
+    memory_bandwidth=900e9,
+    kernel_launch_overhead=6e-6,
+)
+
+
+@dataclass(frozen=True)
+class Device:
+    """One placeable device.
+
+    Attributes:
+        name: TensorFlow-style name, e.g. ``"/server:0/gpu:2"``.
+        index: Global index across the cluster (stable ordering).
+        server: Which physical machine hosts this GPU.
+        spec: Hardware capabilities.
+    """
+
+    name: str
+    index: int
+    server: int
+    spec: DeviceSpec = V100
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.spec.memory_bytes
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return self.name

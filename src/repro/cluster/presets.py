@@ -1,0 +1,65 @@
+"""Cluster presets matching the paper's testbed configurations.
+
+The evaluation uses one server with 8 V100s (NVLink) and a distributed
+setting with GPUs spread over two such servers connected by a datacenter
+network (Sec. 6.2 / 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .device import V100, Device, DeviceSpec
+from .topology import ETHERNET, NVLINK, Topology
+
+
+def make_devices(
+    gpus_per_server: List[int], spec: DeviceSpec = V100
+) -> List[Device]:
+    """Devices for ``gpus_per_server[s]`` GPUs on each server ``s``."""
+    devices: List[Device] = []
+    index = 0
+    for server, count in enumerate(gpus_per_server):
+        for g in range(count):
+            devices.append(
+                Device(
+                    name=f"/server:{server}/gpu:{g}",
+                    index=index,
+                    server=server,
+                    spec=spec,
+                )
+            )
+            index += 1
+    if not devices:
+        raise ValueError("cluster must contain at least one GPU")
+    return devices
+
+
+def single_server(num_gpus: int, spec: DeviceSpec = V100) -> Topology:
+    """``num_gpus`` V100s in one machine, NVLink all-to-all."""
+    return Topology(make_devices([num_gpus], spec), intra_server=NVLINK)
+
+
+def two_servers(gpus_per_server: int, spec: DeviceSpec = V100) -> Topology:
+    """Two identical servers; cross-server traffic over Ethernet.
+
+    ``two_servers(4)`` is the paper's "8 GPUs (2 servers)" strong-scaling
+    column; ``two_servers(8)`` is the weak-scaling "16 GPUs (2 servers)"
+    column.
+    """
+    return Topology(
+        make_devices([gpus_per_server, gpus_per_server], spec),
+        intra_server=NVLINK,
+        inter_server=ETHERNET,
+    )
+
+
+def cluster_for(num_gpus: int, num_servers: int = 1) -> Topology:
+    """Convenience dispatcher used by the experiment harness."""
+    if num_servers == 1:
+        return single_server(num_gpus)
+    if num_servers == 2:
+        if num_gpus % 2:
+            raise ValueError(f"cannot split {num_gpus} GPUs over two servers")
+        return two_servers(num_gpus // 2)
+    raise ValueError(f"unsupported server count {num_servers}")

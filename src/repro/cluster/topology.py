@@ -1,0 +1,124 @@
+"""Interconnect topology: links between device pairs.
+
+The communication structure is what separates the paper's same-server
+and two-server experiments: NVLink inside a machine (~no congestion,
+tens of GB/s), TCP/RDMA across machines (an order of magnitude slower,
+higher latency, shared by all GPU pairs spanning the two hosts).  FastT
+learns these differences through its per-device-pair linear regression
+(Sec. 4, Cost Models); here they are the ground truth the profiler
+observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .device import Device
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One directed communication channel between a device pair.
+
+    Attributes:
+        name: Channel class (``"nvlink"``, ``"pcie"``, ``"ethernet"``...).
+        bandwidth: Bytes per second.
+        latency: Fixed per-transfer setup time in seconds.
+        shared_channel: Key identifying the physical resource transfers
+            serialize on.  NVLink pairs each get their own channel; all
+            cross-server transfers share the NIC channel of the
+            (src server, dst server) pair.
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+    shared_channel: str
+
+
+#: NVLink gen2: ~25 GB/s effective per direction per pair, sub-10us latency.
+NVLINK = ("nvlink", 25e9, 5e-6)
+#: PCIe 3.0 x16 effective: ~12 GB/s.
+PCIE = ("pcie", 12e9, 10e-6)
+#: 100 Gbps RDMA between servers: ~8 GB/s effective, 30us.
+ETHERNET = ("ethernet", 8e9, 30e-6)
+
+
+class Topology:
+    """Resolves the link between any two devices of a cluster."""
+
+    def __init__(
+        self,
+        devices: Sequence[Device],
+        intra_server: Tuple[str, float, float] = NVLINK,
+        inter_server: Tuple[str, float, float] = ETHERNET,
+    ) -> None:
+        if not devices:
+            raise ValueError("a topology needs at least one device")
+        names = {d.name for d in devices}
+        if len(names) != len(devices):
+            raise ValueError("device names must be unique")
+        self.devices: List[Device] = list(devices)
+        self._by_name: Dict[str, Device] = {d.name: d for d in devices}
+        self._intra = intra_server
+        self._inter = inter_server
+        self._links: Dict[Tuple[str, str], LinkSpec] = {}
+
+    def device(self, name: str) -> Device:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown device {name!r}; cluster has {sorted(self._by_name)}"
+            ) from None
+
+    @property
+    def device_names(self) -> List[str]:
+        return [d.name for d in self.devices]
+
+    @property
+    def num_servers(self) -> int:
+        return len({d.server for d in self.devices})
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        """The directed link from device ``src`` to device ``dst``.
+
+        Same-device "transfers" are free and never reach this call in the
+        simulator; the method still answers with an infinite-bandwidth
+        link for robustness.
+        """
+        key = (src, dst)
+        cached = self._links.get(key)
+        if cached is not None:
+            return cached
+        a, b = self.device(src), self.device(dst)
+        if src == dst:
+            spec = LinkSpec("local", float("inf"), 0.0, f"local:{src}")
+        elif a.server == b.server:
+            # All transfers leaving one GPU share its copy-engine/egress
+            # budget, so a parameter device broadcasting weights to every
+            # peer serializes — the congestion FastT's per-pair regression
+            # learns to avoid.
+            name, bw, lat = self._intra
+            spec = LinkSpec(name, bw, lat, f"{name}:{src}->*")
+        else:
+            name, bw, lat = self._inter
+            # All traffic between a pair of servers shares one NIC channel
+            # per direction.
+            spec = LinkSpec(name, bw, lat, f"{name}:s{a.server}->s{b.server}")
+        self._links[key] = spec
+        return spec
+
+    def transfer_time(self, src: str, dst: str, num_bytes: int) -> float:
+        """Uncontended transfer duration (the ground-truth linear model)."""
+        if src == dst or num_bytes <= 0:
+            return 0.0
+        link = self.link(src, dst)
+        return link.latency + num_bytes / link.bandwidth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology({len(self.devices)} devices over "
+            f"{self.num_servers} server(s))"
+        )

@@ -1,0 +1,45 @@
+"""FastT's core: DPOS, OS-DPOS, strategy calculator, transparent session."""
+
+from .calculator import (
+    CalculationReport,
+    FastTConfig,
+    RoundRecord,
+    StrategyCalculator,
+)
+from .dpos import DPOS, DPOSResult
+from .order import complete_order, priorities_from_order
+from .os_dpos import OSDPOS, OSDPOSResult, default_split_counts
+from .placer import PlacementError, apply_placement
+from .ranks import (
+    compute_ranks,
+    critical_path,
+    max_comm_fn,
+    max_weight_fn,
+    rank_order,
+)
+from .session import FastTSession, fits_on_single_device
+from .strategy import Strategy
+
+__all__ = [
+    "CalculationReport",
+    "DPOS",
+    "DPOSResult",
+    "FastTConfig",
+    "FastTSession",
+    "OSDPOS",
+    "OSDPOSResult",
+    "PlacementError",
+    "RoundRecord",
+    "Strategy",
+    "StrategyCalculator",
+    "apply_placement",
+    "complete_order",
+    "compute_ranks",
+    "critical_path",
+    "default_split_counts",
+    "fits_on_single_device",
+    "max_comm_fn",
+    "max_weight_fn",
+    "priorities_from_order",
+    "rank_order",
+]

@@ -1,0 +1,319 @@
+"""Strategy calculator: FastT's pre-training workflow (Sec. 4).
+
+The calculator owns the loop the paper describes:
+
+1. profile the current strategy for a few iterations and update the
+   cost models (a default data/model-parallel strategy is used while the
+   models are empty);
+2. run OS-DPOS with the updated models; if the estimated iteration time
+   beats the active strategy's, checkpoint, rebuild the graph with the
+   new partition list, and activate the new placement and order
+   (simulated restart with a configurable overhead);
+3. after activation, compare *measured* per-iteration time against the
+   previous strategy and roll back when the new one is slower;
+4. stop once the computation cost model is stable.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..cluster import Topology
+from ..costmodel import (
+    CommunicationCostModel,
+    ComputationCostModel,
+    StabilityMonitor,
+)
+from ..graph import Graph
+from ..hardware import PerfModel
+from ..profiling import Profiler
+from ..sim import ExecutionSimulator, SimulationOOMError
+from .dpos import DPOS
+from .order import complete_order
+from .os_dpos import OSDPOS
+from .placer import apply_placement
+from .strategy import Strategy
+
+
+@dataclass
+class FastTConfig:
+    """Tunables of the FastT workflow.
+
+    Attributes mirror the paper's system knobs; defaults follow Sec. 4/6.
+    """
+
+    profiling_steps: int = 2
+    max_rounds: int = 5
+    min_rounds: int = 2
+    stability_tolerance: float = 0.08
+    enable_splitting: bool = True
+    split_counts: Optional[List[int]] = None
+    max_candidate_ops: Optional[int] = 12
+    memory_fraction: float = 0.9
+    restart_overhead_seconds: float = 5.0
+    enable_order_enforcement: bool = True
+    enable_rollback: bool = True
+    measure_steps: int = 3
+
+
+@dataclass
+class RoundRecord:
+    """What happened in one pre-training round."""
+
+    round_index: int
+    strategy_label: str
+    measured_time: Optional[float] = None
+    estimated_time: Optional[float] = None
+    activated: bool = False
+    rolled_back: bool = False
+    stable: bool = False
+
+
+@dataclass
+class CalculationReport:
+    """Result of the pre-training stage."""
+
+    strategy: Strategy
+    graph: Graph
+    rounds: List[RoundRecord] = field(default_factory=list)
+    measured_time: float = float("inf")
+    initial_measured_time: float = float("inf")
+    algorithm_seconds: float = 0.0
+    simulated_profiling_seconds: float = 0.0
+    simulated_restart_seconds: float = 0.0
+
+    @property
+    def total_search_seconds(self) -> float:
+        """Wall+simulated time of the whole search (the paper's Table 4)."""
+        return (
+            self.algorithm_seconds
+            + self.simulated_profiling_seconds
+            + self.simulated_restart_seconds
+        )
+
+
+class StrategyCalculator:
+    """Drives the pre-training loop for one training job."""
+
+    def __init__(
+        self,
+        input_graph: Graph,
+        initial_strategy: Strategy,
+        topology: Topology,
+        perf_model: PerfModel,
+        config: Optional[FastTConfig] = None,
+        alternative_inputs: Optional[List] = None,
+    ) -> None:
+        """``alternative_inputs`` is a list of ``(graph, default strategy)``
+        pairs the calculator may deploy instead of ``input_graph`` — e.g.
+        the plain model DAG next to the data-parallel replication, which is
+        how FastT can end up using only a subset of the devices (Sec. 5.2:
+        "FastT may not use all the input devices").  Each alternative is
+        profiled once under its default strategy to seed the cost models,
+        then competes in every OS-DPOS round on estimated finish time.
+        """
+        self.input_graph = input_graph
+        self.topology = topology
+        self.perf_model = perf_model
+        self.config = config or FastTConfig()
+        self.alternative_inputs = list(alternative_inputs or [])
+        self._alternatives_profiled = False
+
+        def pair_class(src: str, dst: str) -> str:
+            a, b = topology.device(src), topology.device(dst)
+            return "intra" if a.server == b.server else "inter"
+
+        self.computation = ComputationCostModel()
+        self.communication = CommunicationCostModel(pair_class=pair_class)
+        self._stability = StabilityMonitor(self.config.stability_tolerance)
+
+        initial_strategy.placement = apply_placement(
+            input_graph, initial_strategy.placement, topology
+        )
+        self.initial_strategy = initial_strategy
+
+    # ------------------------------------------------------------------
+    def _profiler_for(self, graph: Graph) -> Profiler:
+        simulator = ExecutionSimulator(graph, self.topology, self.perf_model)
+        return Profiler(simulator, self.computation, self.communication)
+
+    def _profile(self, graph: Graph, strategy: Strategy, steps: int):
+        profiler = self._profiler_for(graph)
+        if strategy.order and self.config.enable_order_enforcement:
+            order = complete_order(graph, strategy.order)
+            return profiler.profile(
+                strategy.placement, order=order, policy="priority",
+                num_steps=steps,
+            )
+        return profiler.profile(strategy.placement, num_steps=steps)
+
+    def _profile_alternatives(
+        self, report: "CalculationReport", best: Optional[tuple]
+    ) -> Optional[tuple]:
+        """Seed the cost models with one step of each alternative graph.
+
+        An alternative's *measured* time also competes for the final
+        strategy — this is how FastT can end up deploying the plain model
+        DAG on a subset of the devices when replication only adds
+        synchronization cost.  Returns the updated best-measured tuple.
+        """
+        if self._alternatives_profiled:
+            return best
+        self._alternatives_profiled = True
+        surviving = []
+        for graph, strategy in self.alternative_inputs:
+            try:
+                result = self._profile(graph, strategy, 1)
+            except SimulationOOMError:
+                continue  # infeasible alternative: drop it
+            report.simulated_profiling_seconds += sum(
+                t.makespan for t in result.traces
+            )
+            measured = result.mean_iteration_time
+            if best is None or measured < best[2]:
+                best = (strategy, graph, measured)
+            surviving.append((graph, strategy))
+        self.alternative_inputs = surviving
+        return best
+
+    def _compute_strategy(self) -> tuple:
+        """OS-DPOS over every candidate input graph; keep the best estimate.
+
+        Returns ``(strategy, rewritten graph)``.
+        """
+        dpos = DPOS(
+            self.topology,
+            self.computation,
+            self.communication,
+            memory_fraction=self.config.memory_fraction,
+        )
+        candidates = [self.input_graph] + [g for g, _ in self.alternative_inputs]
+        best: Optional[tuple] = None
+        for graph in candidates:
+            if self.config.enable_splitting:
+                result = OSDPOS(
+                    dpos,
+                    split_counts=self.config.split_counts,
+                    max_candidate_ops=self.config.max_candidate_ops,
+                ).run(graph)
+                strategy, rewritten = result.strategy, result.graph
+            else:
+                dpos_result = dpos.run(graph.copy())
+                strategy, rewritten = dpos_result.strategy, graph
+            estimate = strategy.estimated_time
+            if best is None or (
+                estimate is not None
+                and (best[0] is None or estimate < best[0])
+            ):
+                best = (estimate, strategy, rewritten)
+        assert best is not None
+        return best[1], best[2]
+
+    # ------------------------------------------------------------------
+    def run(self) -> CalculationReport:
+        """Execute the pre-training stage; returns the surviving strategy."""
+        config = self.config
+        current_strategy = self.initial_strategy
+        current_graph = self.input_graph
+        report = CalculationReport(strategy=current_strategy, graph=current_graph)
+
+        previous: Optional[tuple] = None  # (strategy, graph, measured)
+        best: Optional[tuple] = None      # best-measured so far
+        current_measured: Optional[float] = None
+
+        for round_index in range(config.max_rounds):
+            record = RoundRecord(
+                round_index=round_index,
+                strategy_label=current_strategy.label,
+                estimated_time=current_strategy.estimated_time,
+            )
+            try:
+                result = self._profile(
+                    current_graph, current_strategy, config.profiling_steps
+                )
+                current_measured = result.mean_iteration_time
+                report.simulated_profiling_seconds += sum(
+                    t.makespan for t in result.traces
+                )
+            except SimulationOOMError:
+                current_measured = None
+            record.measured_time = current_measured
+
+            if round_index == 0 and current_measured is not None:
+                report.initial_measured_time = current_measured
+            if current_measured is not None and (
+                best is None or current_measured < best[2]
+            ):
+                best = (current_strategy, current_graph, current_measured)
+
+            # Rollback: the paper reverts when the activated strategy's
+            # measured per-iteration time exceeds the previous one's.
+            if (
+                config.enable_rollback
+                and previous is not None
+                and previous[2] is not None
+                and (
+                    current_measured is None
+                    or current_measured > previous[2]
+                )
+            ):
+                current_strategy, current_graph, current_measured = previous
+                previous = None
+                record.rolled_back = True
+                report.simulated_restart_seconds += config.restart_overhead_seconds
+                report.rounds.append(record)
+                continue
+
+            best = self._profile_alternatives(report, best)
+
+            record.stable = self._stability.update(self.computation.snapshot())
+            if record.stable and round_index + 1 >= config.min_rounds:
+                report.rounds.append(record)
+                break
+
+            started = _time.perf_counter()
+            candidate, candidate_graph = self._compute_strategy()
+            report.algorithm_seconds += _time.perf_counter() - started
+
+            should_activate = (
+                candidate.estimated_time is not None
+                and (
+                    current_strategy.estimated_time is None
+                    or candidate.estimated_time < current_strategy.estimated_time
+                )
+            )
+            if should_activate:
+                previous = (current_strategy, current_graph, current_measured)
+                current_strategy = candidate
+                current_graph = candidate_graph
+                report.simulated_restart_seconds += config.restart_overhead_seconds
+                record.activated = True
+            report.rounds.append(record)
+
+        # Final measurement; if a strategy was activated but never
+        # validated (the loop budget ran out first), the rollback rule
+        # still applies — FastT keeps whatever measured fastest.
+        try:
+            final = self._profile(
+                current_graph, current_strategy, config.measure_steps
+            )
+            final_measured = final.mean_iteration_time
+            report.simulated_profiling_seconds += sum(
+                t.makespan for t in final.traces
+            )
+        except SimulationOOMError:
+            final_measured = None
+        if final_measured is not None and (
+            best is None or final_measured < best[2]
+        ):
+            best = (current_strategy, current_graph, final_measured)
+        if best is None:
+            raise SimulationOOMError(
+                self.topology.device_names[0], 0, 0
+            )
+        report.strategy, report.graph, report.measured_time = best
+        if report.initial_measured_time == float("inf"):
+            report.initial_measured_time = report.measured_time
+        return report

@@ -1,0 +1,314 @@
+"""DPOS — Device Placement and Operation Sequencing (Alg. 1).
+
+List scheduling in two phases: operation prioritization by upward rank
+(critical-path heuristic) and device selection by earliest finish time
+with idle-slot insertion.  Critical-path operations are pinned to
+dedicated critical-path devices chosen by average execution time within
+memory capacity; all other operations go wherever they finish earliest.
+The execution order is the schedule's start-time order, later enforced
+by the executor's priority queue.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..cluster import Topology
+from ..costmodel import CommunicationCostModel, ComputationCostModel
+from ..graph import Graph, Operation
+from .ranks import compute_ranks, critical_path, max_comm_fn, max_weight_fn, rank_order
+from .strategy import Strategy
+
+_INF = float("inf")
+
+
+@dataclass
+class DPOSResult:
+    """Output of one DPOS run."""
+
+    strategy: Strategy
+    finish_time: float
+    start_times: Dict[str, float]
+    finish_times: Dict[str, float]
+    critical_path: List[str]
+    ranks: Dict[str, float]
+
+    @property
+    def placement(self) -> Dict[str, str]:
+        return self.strategy.placement
+
+    @property
+    def order(self) -> List[str]:
+        return self.strategy.order
+
+
+class _DeviceSchedule:
+    """Sorted busy intervals of one device, with idle-slot insertion."""
+
+    __slots__ = ("starts", "ends")
+
+    def __init__(self) -> None:
+        self.starts: List[float] = []
+        self.ends: List[float] = []
+
+    def earliest_slot(
+        self, ready: float, duration: float, insertion: bool = True
+    ) -> float:
+        """Earliest start >= ready of an idle slot fitting ``duration``.
+
+        Scans gaps between already-scheduled intervals (the paper's
+        insertion policy) and falls back to after the last interval;
+        with ``insertion=False`` it only appends after the last interval.
+        """
+        if not self.starts:
+            return ready
+        if not insertion:
+            return max(ready, self.ends[-1])
+        # Start scanning at the first interval that could constrain us.
+        i = bisect.bisect_left(self.ends, ready)
+        prev_end = ready if i == 0 else max(ready, self.ends[i - 1])
+        for j in range(i, len(self.starts)):
+            if prev_end + duration <= self.starts[j]:
+                return prev_end
+            prev_end = max(prev_end, self.ends[j])
+        return prev_end
+
+    def insert(self, start: float, duration: float) -> None:
+        i = bisect.bisect_left(self.starts, start)
+        self.starts.insert(i, start)
+        self.ends.insert(i, start + duration)
+
+
+class DPOS:
+    """Alg. 1, parameterized by cluster and cost models.
+
+    Args:
+        topology: Devices and links to place onto.
+        computation: Profiled computation cost model.
+        communication: Profiled communication cost model.
+        memory_fraction: Fraction of device memory the planner may fill
+            (headroom for workspace/fragmentation, as in practice).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        computation: ComputationCostModel,
+        communication: CommunicationCostModel,
+        memory_fraction: float = 0.9,
+        insertion_scheduling: bool = True,
+    ) -> None:
+        if not 0 < memory_fraction <= 1:
+            raise ValueError("memory_fraction must be in (0, 1]")
+        self.topology = topology
+        self.computation = computation
+        self.communication = communication
+        #: When False, operations only ever append after a device's last
+        #: interval (no idle-slot insertion) — the ablation of Alg. 1's
+        #: insertion policy.
+        self.insertion_scheduling = insertion_scheduling
+        self.capacities = {
+            d.name: int(d.memory_bytes * memory_fraction)
+            for d in topology.devices
+        }
+
+    # ------------------------------------------------------------------
+    def run(self, graph: Graph) -> DPOSResult:
+        """Compute placement, execution order, and estimated finish time."""
+        devices = self.topology.device_names
+        weight = max_weight_fn(self.computation, devices)
+        comm = max_comm_fn(graph, self.communication, devices)
+        ranks = compute_ranks(graph, weight, comm)
+        cp_ops = critical_path(graph, ranks)
+        cp_names: Set[str] = {op.name for op in cp_ops}
+        # Placement sequence: decreasing rank; among equal ranks, the
+        # critical-path op goes first ("the next operation to be placed is
+        # always the entry operation in the new critical path"), so a
+        # same-rank sibling cannot grab the CP device's next slot; then
+        # topological index so predecessors precede successors.
+        topo_index = {
+            op.name: i for i, op in enumerate(graph.topological_order())
+        }
+        sequence = sorted(
+            ranks,
+            key=lambda n: (-ranks[n], n not in cp_names, topo_index[n]),
+        )
+
+        mem_used: Dict[str, int] = {d: 0 for d in devices}
+        schedules: Dict[str, _DeviceSchedule] = {d: _DeviceSchedule() for d in devices}
+        placement: Dict[str, str] = {}
+        start_times: Dict[str, float] = {}
+        finish_times: Dict[str, float] = {}
+        group_device: Dict[str, str] = {}
+
+        cp_pending: List[Operation] = list(cp_ops)
+        cp_device = self._select_cp_device(cp_pending, devices, mem_used)
+
+        for name in sequence:
+            op = graph.get_op(name)
+            need = op.persistent_bytes
+            forced = (
+                group_device.get(op.colocation_group)
+                if op.colocation_group is not None
+                else None
+            )
+            if forced is not None:
+                target = forced
+            elif name in cp_names:
+                if mem_used[cp_device] + need > self.capacities[cp_device]:
+                    cp_device = self._select_cp_device(
+                        cp_pending, devices, mem_used, exclude={cp_device}
+                    )
+                target = cp_device
+            else:
+                target = self._min_eft_device(
+                    graph, op, devices, mem_used, need, placement,
+                    finish_times, schedules,
+                )
+            start = self._schedule_on(
+                graph, op, target, placement, finish_times, schedules[target]
+            )
+            duration = self.computation.time(op, target)
+            schedules[target].insert(start, duration)
+            placement[name] = target
+            start_times[name] = start
+            finish_times[name] = start + duration
+            mem_used[target] += need
+            if op.colocation_group is not None and forced is None:
+                group_device[op.colocation_group] = target
+            if name in cp_names:
+                cp_pending = [o for o in cp_pending if o.name != name]
+
+        order = sorted(
+            start_times, key=lambda n: (start_times[n], -ranks[n], n)
+        )
+        finish = max(
+            (finish_times[op.name] for op in graph.exit_ops()), default=0.0
+        )
+        strategy = Strategy(
+            placement=placement,
+            order=order,
+            estimated_time=finish,
+            label="dpos",
+        )
+        return DPOSResult(
+            strategy=strategy,
+            finish_time=finish,
+            start_times=start_times,
+            finish_times=finish_times,
+            critical_path=[op.name for op in cp_ops],
+            ranks=ranks,
+        )
+
+    # ------------------------------------------------------------------
+    def _select_cp_device(
+        self,
+        cp_pending: Sequence[Operation],
+        devices: Sequence[str],
+        mem_used: Dict[str, int],
+        exclude: Optional[Set[str]] = None,
+    ) -> str:
+        """Pick the critical-path device (Alg. 1 line 5).
+
+        For each device, greedily fit as many remaining CP ops as memory
+        allows and score by average computation time; the smallest
+        average wins, then the larger fitted count, then device order.
+        """
+        exclude = exclude or set()
+        best: Optional[Tuple[float, int, int, str]] = None
+        for idx, dev in enumerate(devices):
+            if dev in exclude:
+                continue
+            free = self.capacities[dev] - mem_used[dev]
+            fitted = 0
+            total = 0.0
+            acc = 0
+            for op in cp_pending:
+                need = op.persistent_bytes
+                if acc + need > free:
+                    break
+                acc += need
+                fitted += 1
+                total += self.computation.time(op, dev)
+            if fitted == 0 and cp_pending:
+                continue
+            avg = total / fitted if fitted else 0.0
+            key = (avg, -fitted, idx, dev)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            # Every candidate is memory-full: fall back to the device with
+            # the most free planning memory.
+            fallback = max(
+                (d for d in devices if d not in exclude),
+                key=lambda d: self.capacities[d] - mem_used[d],
+                default=None,
+            )
+            if fallback is None:
+                fallback = max(
+                    devices, key=lambda d: self.capacities[d] - mem_used[d]
+                )
+            return fallback
+        return best[3]
+
+    def _min_eft_device(
+        self,
+        graph: Graph,
+        op: Operation,
+        devices: Sequence[str],
+        mem_used: Dict[str, int],
+        need: int,
+        placement: Dict[str, str],
+        finish_times: Dict[str, float],
+        schedules: Dict[str, _DeviceSchedule],
+    ) -> str:
+        """Alg. 1 lines 12-19: min-EFT device among those with memory."""
+        best_dev: Optional[str] = None
+        best_eft = _INF
+        feasible = False
+        for dev in devices:
+            if mem_used[dev] + need > self.capacities[dev]:
+                continue
+            feasible = True
+            est = self._schedule_on(
+                graph, op, dev, placement, finish_times, schedules[dev]
+            )
+            eft = est + self.computation.time(op, dev)
+            if eft < best_eft:
+                best_eft = eft
+                best_dev = dev
+        if not feasible:
+            # Out of planning memory everywhere: overflow to the device
+            # with the most remaining room rather than failing the whole
+            # strategy computation.
+            return max(devices, key=lambda d: self.capacities[d] - mem_used[d])
+        assert best_dev is not None
+        return best_dev
+
+    def _schedule_on(
+        self,
+        graph: Graph,
+        op: Operation,
+        device: str,
+        placement: Dict[str, str],
+        finish_times: Dict[str, float],
+        schedule: _DeviceSchedule,
+    ) -> float:
+        """EST of ``op`` on ``device`` given committed predecessors."""
+        ready = 0.0
+        for pred in graph.predecessors(op):
+            pred_dev = placement.get(pred.name)
+            if pred_dev is None:
+                # Predecessor not yet placed can only happen for zero-rank
+                # ties; treat its data as available immediately.
+                continue
+            arrival = finish_times[pred.name]
+            if pred_dev != device:
+                arrival += self.communication.time(
+                    pred_dev, device, graph.edge_bytes(pred, op)
+                )
+            ready = max(ready, arrival)
+        duration = self.computation.time(op, device)
+        return schedule.earliest_slot(ready, duration, self.insertion_scheduling)

@@ -1,0 +1,41 @@
+"""Order enforcement (Sec. 6.1): execution order as executor priorities.
+
+The paper patches TensorFlow's C++ executor so ready-queue pops follow
+priorities instead of FIFO; the indices of the strategy calculator's
+execution-order list *are* the priorities.  Priority scheduling keeps
+the dataflow constraints intact (an op only enters the ready queue once
+its inputs are available), so any order list yields a valid execution —
+exactly why the paper prefers priorities over hard control edges, which
+"lose the chance for further optimization".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..graph import Graph
+
+
+def priorities_from_order(order: Sequence[str]) -> Dict[str, int]:
+    """Priority map: position in the execution-order list (lower first)."""
+    return {name: index for index, name in enumerate(order)}
+
+
+def complete_order(graph: Graph, order: Sequence[str]) -> List[str]:
+    """Extend a (possibly partial) order list to cover the whole graph.
+
+    Ops missing from the list are appended in topological order, so the
+    executor always has a total priority assignment.
+    """
+    seen = set()
+    result: List[str] = []
+    graph_names = {op.name for op in graph.ops}
+    for name in order:
+        if name in graph_names and name not in seen:
+            seen.add(name)
+            result.append(name)
+    for op in graph.topological_order():
+        if op.name not in seen:
+            seen.add(op.name)
+            result.append(op.name)
+    return result

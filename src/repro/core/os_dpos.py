@@ -1,0 +1,189 @@
+"""OS-DPOS — Operation Splitting DPOS (Alg. 2).
+
+Runs DPOS for an initial schedule, recomputes the critical path under
+that placement, then walks the critical path in decreasing order of
+computation time, trying to split each operation along each of its
+parallelizable dimensions with each candidate split count.  A split is
+committed only if the best resulting DPOS finish time beats the current
+one; the first non-improving operation stops the search (the paper's
+early exit).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph import Graph, Operation
+from ..graph.rewrite import SplitDecision, SplitError, split_operation
+from .dpos import DPOS, DPOSResult
+from .ranks import compute_ranks, critical_path
+from .strategy import Strategy
+
+
+@dataclass
+class OSDPOSResult:
+    """Output of Alg. 2: rewritten graph plus the full strategy."""
+
+    graph: Graph
+    strategy: Strategy
+    finish_time: float
+    dpos_result: DPOSResult
+    candidates_evaluated: int = 0
+    splits_rejected: int = 0
+
+    @property
+    def split_list(self) -> List[SplitDecision]:
+        return self.strategy.split_list
+
+
+def default_split_counts(num_devices: int) -> List[int]:
+    """Candidate split numbers: 2, 4, ..., up to the device count.
+
+    The paper tries split numbers up to the number of GPUs; powers of two
+    keep the candidate space small without losing the interesting points
+    on an even-sized cluster.
+    """
+    counts = sorted({n for n in (2, 4, 8, num_devices) if 2 <= n <= num_devices})
+    return counts
+
+
+class OSDPOS:
+    """Alg. 2, built on a configured :class:`DPOS` instance.
+
+    Args:
+        dpos: The placement/ordering engine (carries cluster+cost models).
+        split_counts: Candidate split numbers; default
+            :func:`default_split_counts` of the cluster size.
+        max_candidate_ops: Cap on how many critical-path ops are examined
+            (None = the full path, as in the paper; the early exit usually
+            stops far sooner).
+    """
+
+    def __init__(
+        self,
+        dpos: DPOS,
+        split_counts: Optional[Sequence[int]] = None,
+        max_candidate_ops: Optional[int] = None,
+    ) -> None:
+        self.dpos = dpos
+        num_devices = len(dpos.topology.devices)
+        self.split_counts = (
+            list(split_counts)
+            if split_counts is not None
+            else default_split_counts(num_devices)
+        )
+        self.max_candidate_ops = max_candidate_ops
+
+    # ------------------------------------------------------------------
+    def run(self, graph: Graph) -> OSDPOSResult:
+        """Compute split list, placement, and order for ``graph``.
+
+        ``graph`` itself is never mutated; committed splits are applied to
+        successive copies.
+        """
+        current_graph = graph.copy()
+        best = self.dpos.run(current_graph)
+        split_list: List[SplitDecision] = []
+        candidates_evaluated = 0
+        splits_rejected = 0
+
+        if self.split_counts:
+            cp_ops = self._placement_critical_path(current_graph, best)
+            if self.max_candidate_ops is not None:
+                cp_ops = cp_ops[: self.max_candidate_ops]
+            for op_name in cp_ops:
+                if op_name not in current_graph:
+                    continue  # consumed by an earlier committed split
+                op = current_graph.get_op(op_name)
+                if not op.is_splittable:
+                    continue
+                outcome = self._best_split_for(current_graph, op)
+                if outcome is None:
+                    continue
+                decision, candidate_graph, candidate_result, tried = outcome
+                candidates_evaluated += tried
+                if candidate_result.finish_time < best.finish_time:
+                    split_list.append(decision)
+                    current_graph = candidate_graph
+                    best = candidate_result
+                else:
+                    splits_rejected += 1
+                    break  # paper: stop at the first non-improving CP op
+
+        strategy = Strategy(
+            placement=dict(best.strategy.placement),
+            order=list(best.strategy.order),
+            split_list=split_list,
+            estimated_time=best.finish_time,
+            label="os-dpos" if split_list else "dpos",
+        )
+        return OSDPOSResult(
+            graph=current_graph,
+            strategy=strategy,
+            finish_time=best.finish_time,
+            dpos_result=best,
+            candidates_evaluated=candidates_evaluated,
+            splits_rejected=splits_rejected,
+        )
+
+    # ------------------------------------------------------------------
+    def _placement_critical_path(
+        self, graph: Graph, result: DPOSResult
+    ) -> List[str]:
+        """Critical path under the committed placement (Alg. 2 lines 4-5).
+
+        Ranks are recomputed with the *assigned-device* computation time
+        and the *assigned-pair* communication time, then the path is
+        sorted by decreasing computation time on the assigned device.
+        """
+        placement = result.strategy.placement
+        computation = self.dpos.computation
+        communication = self.dpos.communication
+
+        def weight(op: Operation) -> float:
+            return computation.time(op, placement[op.name])
+
+        def comm(src: Operation, dst: Operation) -> float:
+            return communication.time(
+                placement[src.name],
+                placement[dst.name],
+                graph.edge_bytes(src, dst),
+            )
+
+        ranks = compute_ranks(graph, weight, comm)
+        path = critical_path(graph, ranks)
+        return [
+            op.name
+            for op in sorted(path, key=lambda o: -weight(o))
+            if weight(op) > 0.0
+        ]
+
+    def _best_split_for(
+        self, base_graph: Graph, op: Operation
+    ) -> Optional[Tuple[SplitDecision, Graph, DPOSResult, int]]:
+        """Try every (dimension, split count) for ``op``; keep the best."""
+        best: Optional[Tuple[SplitDecision, Graph, DPOSResult]] = None
+        tried = 0
+        for dim, count in itertools.product(
+            sorted(op.split_dims), self.split_counts
+        ):
+            candidate_graph = base_graph.copy()
+            try:
+                split_operation(
+                    candidate_graph, candidate_graph.get_op(op.name), dim, count
+                )
+            except SplitError:
+                continue  # extent too small for this count, etc.
+            result = self.dpos.run(candidate_graph)
+            tried += 1
+            if best is None or result.finish_time < best[2].finish_time:
+                best = (
+                    SplitDecision(op_name=op.name, dim=dim, num_splits=count),
+                    candidate_graph,
+                    result,
+                )
+        if best is None:
+            return None
+        return (*best, tried)

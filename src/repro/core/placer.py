@@ -1,0 +1,86 @@
+"""Device placer (Sec. 6.1): applies a placement, checking colocation.
+
+The TensorFlow implementation is 20 LoC that set ``tf.device`` scopes
+after verifying co-location constraints; this mirror validates a
+computed placement against the graph's colocation groups and snaps any
+stragglers onto their group leader's device.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..cluster import Topology
+from ..graph import Graph
+
+
+class PlacementError(ValueError):
+    """Raised for incomplete placements or unknown devices."""
+
+
+def apply_placement(
+    graph: Graph,
+    placement: Mapping[str, str],
+    topology: Topology,
+    strict_colocation: bool = False,
+) -> Dict[str, str]:
+    """Validate and normalize a placement for execution.
+
+    Every op must be mapped to a known device.  Ops sharing a colocation
+    group are forced onto the device of the group's first member; with
+    ``strict_colocation`` a mismatch raises instead of being repaired.
+
+    Returns a (possibly repaired) copy of the placement.
+    """
+    known = set(topology.device_names)
+    result: Dict[str, str] = {}
+    for op in graph.ops:
+        dev = placement.get(op.name)
+        if dev is None:
+            raise PlacementError(f"placement misses op {op.name!r}")
+        if dev not in known:
+            raise PlacementError(
+                f"op {op.name!r} assigned to unknown device {dev!r}"
+            )
+        result[op.name] = dev
+
+    for group, members in graph.colocation_groups().items():
+        leader_device = result[members[0].name]
+        for member in members[1:]:
+            if result[member.name] != leader_device:
+                if strict_colocation:
+                    raise PlacementError(
+                        f"colocation group {group!r} split across devices: "
+                        f"{members[0].name!r} on {leader_device!r} but "
+                        f"{member.name!r} on {result[member.name]!r}"
+                    )
+                result[member.name] = leader_device
+    return result
+
+
+def model_parallel_placement(graph: Graph, topology: Topology) -> Dict[str, str]:
+    """Contiguous FLOPs-balanced stages over the cluster's devices.
+
+    The classic manual model-parallel deployment: walk the graph in
+    topological order and cut it into ``|D|`` stages of roughly equal
+    FLOPs.  FastT uses this as the starting strategy for models too large
+    for one GPU (Sec. 4); it also serves as a comparison baseline.
+    Colocation groups are repaired afterwards.
+    """
+    devices = topology.device_names
+    order = graph.topological_order()
+    total = sum(op.flops for op in order) or float(len(order))
+    uniform = total <= len(order)  # degenerate: no FLOPs info at all
+    per_stage = total / len(devices)
+
+    placement: Dict[str, str] = {}
+    stage = 0
+    accumulated = 0.0
+    for op in order:
+        weight = 1.0 if uniform else op.flops
+        if accumulated + weight > per_stage and stage < len(devices) - 1:
+            stage += 1
+            accumulated = 0.0
+        accumulated += weight
+        placement[op.name] = devices[stage]
+    return apply_placement(graph, placement, topology)

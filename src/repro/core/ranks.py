@@ -1,0 +1,98 @@
+"""Upward ranks and critical paths (Sec. 5.1, Operation Prioritization).
+
+``rank_u(o_i) = w_i + max_{o_j in succ(o_i)} (c_ij + rank_u(o_j))``
+
+where ``w_i`` is the op's maximal execution time over devices and
+``c_ij`` the maximal transmission time of the tensor(s) from ``o_i`` to
+``o_j`` over device pairs.  The rank of an exit op is its ``w``.  Ranks
+drive both the placement sequence (decreasing rank) and the critical
+path (greedy max-rank chain from the max-rank entry op).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..costmodel import CommunicationCostModel, ComputationCostModel
+from ..graph import Graph, Operation
+
+#: (op) -> execution-time estimate used as ``w_i``.
+WeightFn = Callable[[Operation], float]
+#: (src op, dst op) -> communication-time estimate used as ``c_ij``.
+CommFn = Callable[[Operation, Operation], float]
+
+
+def max_weight_fn(
+    computation: ComputationCostModel, devices: Sequence[str]
+) -> WeightFn:
+    """``w_i``: maximal computation time over all candidate devices."""
+
+    def weight(op: Operation) -> float:
+        return computation.max_time(op, devices)
+
+    return weight
+
+
+def max_comm_fn(
+    graph: Graph,
+    communication: CommunicationCostModel,
+    devices: Sequence[str],
+) -> CommFn:
+    """``c_ij``: maximal transfer time over all distinct device pairs."""
+    pairs = [(a, b) for a in devices for b in devices if a != b]
+
+    def comm(src: Operation, dst: Operation) -> float:
+        num_bytes = graph.edge_bytes(src, dst)
+        return communication.max_time(num_bytes, pairs)
+
+    return comm
+
+
+def compute_ranks(
+    graph: Graph, weight: WeightFn, comm: CommFn
+) -> Dict[str, float]:
+    """Upward rank of every op, via one reverse-topological sweep."""
+    ranks: Dict[str, float] = {}
+    for op in reversed(graph.topological_order()):
+        successors = graph.successors(op)
+        if not successors:
+            ranks[op.name] = weight(op)
+            continue
+        best = max(comm(op, succ) + ranks[succ.name] for succ in successors)
+        ranks[op.name] = weight(op) + best
+    return ranks
+
+
+def critical_path(
+    graph: Graph, ranks: Dict[str, float]
+) -> List[Operation]:
+    """The max-rank chain from the max-rank entry op to an exit op.
+
+    This follows the paper: select the entry operation (the highest-rank
+    one, which heads the overall critical path), then repeatedly step to
+    the successor with the largest rank.
+    """
+    entries = graph.entry_ops()
+    if not entries:
+        raise ValueError("graph has no entry operations")
+    current = max(entries, key=lambda op: (ranks[op.name], op.name))
+    path = [current]
+    while True:
+        successors = graph.successors(current)
+        if not successors:
+            return path
+        current = max(successors, key=lambda op: (ranks[op.name], op.name))
+        path.append(current)
+
+
+def rank_order(graph: Graph, ranks: Dict[str, float]) -> List[str]:
+    """Op names by decreasing rank — the DPOS placement sequence.
+
+    A parent's rank is >= any child's (weights and comm times are
+    non-negative), but equality happens whenever unexplored costs are 0;
+    ties therefore break by topological index so that predecessors are
+    always placed before their successors (EFT needs predecessor finish
+    times).
+    """
+    topo_index = {op.name: i for i, op in enumerate(graph.topological_order())}
+    return sorted(ranks, key=lambda name: (-ranks[name], topo_index[name]))

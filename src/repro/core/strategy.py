@@ -1,0 +1,67 @@
+"""Strategy: the solution triple FastT outputs (Sec. 3).
+
+A strategy is (i) a partition list of operations to split, (ii) a device
+placement for every (sub-)operation, and (iii) an execution order over
+all (sub-)operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..graph import Graph
+from ..graph.rewrite import SplitDecision, apply_split_list
+
+
+@dataclass
+class Strategy:
+    """One deployable strategy.
+
+    Attributes:
+        placement: op name -> device name (complete over the rewritten
+            graph).
+        order: op names in execution order (priorities for the executor's
+            order enforcement).
+        split_list: The partition list; empty for placement-only
+            strategies.
+        estimated_time: The strategy calculator's predicted iteration
+            time (``FT(o_exit)`` of DPOS), if it produced one.
+        label: Human-readable provenance ("data-parallel", "dpos",
+            "os-dpos", ...).
+    """
+
+    placement: Dict[str, str]
+    order: List[str] = field(default_factory=list)
+    split_list: List[SplitDecision] = field(default_factory=list)
+    estimated_time: Optional[float] = None
+    label: str = ""
+
+    def materialize(self, base_graph: Graph) -> Graph:
+        """Apply this strategy's partition list to a copy of ``base_graph``.
+
+        Returns the rewritten graph the placement and order refer to.
+        """
+        graph = base_graph.copy()
+        apply_split_list(graph, self.split_list)
+        return graph
+
+    def devices_used(self) -> List[str]:
+        """Distinct devices the placement touches (FastT may use a subset)."""
+        return sorted(set(self.placement.values()))
+
+    def validate_against(self, graph: Graph) -> None:
+        """Check the strategy covers exactly the graph's ops."""
+        graph_names = {op.name for op in graph.ops}
+        missing = graph_names - set(self.placement)
+        if missing:
+            raise ValueError(
+                f"placement misses {len(missing)} ops, e.g. "
+                f"{sorted(missing)[:5]}"
+            )
+        if self.order:
+            unknown = set(self.order) - graph_names
+            if unknown:
+                raise ValueError(
+                    f"order references unknown ops, e.g. {sorted(unknown)[:5]}"
+                )

@@ -1,0 +1,15 @@
+"""FastT's adaptive cost models, fitted from profiled step traces."""
+
+from .communication import CommunicationCostModel
+from .oracle import OracleCommunicationModel, OracleComputationModel
+from .computation import BANDWIDTH_BOUND_TYPES, ComputationCostModel
+from .stability import StabilityMonitor
+
+__all__ = [
+    "BANDWIDTH_BOUND_TYPES",
+    "CommunicationCostModel",
+    "OracleCommunicationModel",
+    "OracleComputationModel",
+    "ComputationCostModel",
+    "StabilityMonitor",
+]

@@ -1,0 +1,168 @@
+"""FastT's computation cost model (Sec. 4, Cost Models).
+
+Keyed by ``(operation name, device)``, exactly as in the paper, and fed
+only from profiled step traces.  Three lookup tiers:
+
+1. a direct profiled average for the key;
+2. for sub-operations created by Alg. 2 splits, the parent operation's
+   profiled time scaled by the sub-op's work fraction (the estimate the
+   strategy calculator needs to evaluate a split *before* it has ever
+   run);
+3. a per-device bandwidth proxy fitted over observed memory-bound ops,
+   used for the split/concat glue nodes a rewrite introduces;
+4. otherwise ``0.0`` — the paper's "set the cost to 0 so the algorithm
+   prefers to explore the placement" rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..graph import Operation
+
+#: Op types whose runtime is essentially memory traffic; they feed and
+#: use the bandwidth proxy.
+BANDWIDTH_BOUND_TYPES = frozenset(
+    {
+        "SplitN",
+        "Concat",
+        "Identity",
+        "Relu",
+        "ReluGrad",
+        "Add",
+        "AddN",
+        "Mul",
+        "BiasAdd",
+        "BiasAddGrad",
+        "Reshape",
+        "Transpose",
+        "Dropout",
+        "DropoutGrad",
+    }
+)
+
+
+@dataclass
+class _RunningStat:
+    count: int = 0
+    mean: float = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.mean += (value - self.mean) / self.count
+
+
+@dataclass
+class _BandwidthProxy:
+    """Per-device seconds-per-byte estimate from memory-bound kernels."""
+
+    total_bytes: float = 0.0
+    total_seconds: float = 0.0
+
+    def add(self, num_bytes: int, seconds: float) -> None:
+        self.total_bytes += num_bytes
+        self.total_seconds += seconds
+
+    def estimate(self, num_bytes: int) -> Optional[float]:
+        if self.total_bytes <= 0:
+            return None
+        return self.total_seconds / self.total_bytes * num_bytes
+
+
+class ComputationCostModel:
+    """(op name, device) -> expected execution time in seconds.
+
+    Args:
+        homogeneous_fallback: When True (default), a key missing for one
+            device falls back to the op's mean over devices where it *was*
+            profiled.  The paper's testbed GPUs are identical V100s, and
+            data parallelism replicates ops across all of them, so this is
+            the fast path to a complete model the paper relies on
+            ("each operation is replicated to different GPUs and their
+            execution time on different devices is learned").
+    """
+
+    def __init__(self, homogeneous_fallback: bool = True) -> None:
+        self.homogeneous_fallback = homogeneous_fallback
+        self._stats: Dict[Tuple[str, str], _RunningStat] = {}
+        self._by_name: Dict[str, _RunningStat] = {}
+        self._types: Dict[str, str] = {}
+        self._bandwidth: Dict[str, _BandwidthProxy] = {}
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        op_name: str,
+        op_type: str,
+        device: str,
+        duration: float,
+        bytes_accessed: int = 0,
+    ) -> None:
+        """Record one profiled execution."""
+        key = (op_name, device)
+        self._stats.setdefault(key, _RunningStat()).add(duration)
+        self._by_name.setdefault(op_name, _RunningStat()).add(duration)
+        self._types[op_name] = op_type
+        if op_type in BANDWIDTH_BOUND_TYPES and bytes_accessed > 0:
+            self._bandwidth.setdefault(device, _BandwidthProxy()).add(
+                bytes_accessed, duration
+            )
+
+    def known(self, op_name: str, device: str) -> bool:
+        return (op_name, device) in self._stats
+
+    def profiled_time(self, op_name: str, device: str) -> Optional[float]:
+        stat = self._stats.get((op_name, device))
+        return stat.mean if stat else None
+
+    # ------------------------------------------------------------------
+    def time(self, op: Operation, device: str) -> float:
+        """Expected execution time of ``op`` on ``device`` (0 = explore)."""
+        direct = self._lookup(op.name, device)
+        if direct is not None:
+            return direct
+        derived = self._derived_from_parent(op, device)
+        if derived is not None:
+            return derived
+        if op.op_type in BANDWIDTH_BOUND_TYPES:
+            proxy = self._bandwidth.get(device)
+            if proxy is not None:
+                estimate = proxy.estimate(op.bytes_accessed)
+                if estimate is not None:
+                    return estimate
+        return 0.0
+
+    def _lookup(self, op_name: str, device: str) -> Optional[float]:
+        """Direct key, then (optionally) the homogeneous per-name mean."""
+        direct = self.profiled_time(op_name, device)
+        if direct is not None:
+            return direct
+        if self.homogeneous_fallback:
+            stat = self._by_name.get(op_name)
+            if stat is not None:
+                return stat.mean
+        return None
+
+    def _derived_from_parent(self, op: Operation, device: str) -> Optional[float]:
+        parent = op.attrs.get("split_parent")
+        fraction = op.attrs.get("split_fraction")
+        if parent is None:
+            return None
+        parent_time = self._lookup(str(parent), device)
+        if parent_time is None:
+            return None
+        return parent_time * float(fraction if fraction else 1.0)
+
+    def max_time(self, op: Operation, devices: Iterable[str]) -> float:
+        """``w_i`` of the rank computation: max time over all devices."""
+        return max((self.time(op, d) for d in devices), default=0.0)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[Tuple[str, str], float]:
+        """Current means — used by the stability test of pre-training."""
+        return {key: stat.mean for key, stat in self._stats.items()}
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._stats)

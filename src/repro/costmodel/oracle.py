@@ -1,0 +1,47 @@
+"""Oracle cost models backed directly by the ground-truth hardware model.
+
+FastT never gets these on a real testbed — it must *learn* its costs
+from profiling.  The oracles exist for testing (deterministic DPOS
+inputs) and for the cost-model ablation benchmark, which quantifies how
+much strategy quality is lost to profiling error by comparing learned
+models against perfect knowledge.
+
+Both classes are duck-typed to the interfaces :class:`~repro.core.dpos.DPOS`
+consumes (``time``/``max_time``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..hardware import PerfModel
+from ..graph import Operation
+
+
+class OracleComputationModel:
+    """(op, device) -> exact noise-free execution time."""
+
+    def __init__(self, perf_model: PerfModel) -> None:
+        self.perf = perf_model
+        self._devices = {d.name: d for d in perf_model.topology.devices}
+
+    def time(self, op: Operation, device: str) -> float:
+        return self.perf.base_op_time(op, self._devices[device])
+
+    def max_time(self, op: Operation, devices: Iterable[str]) -> float:
+        return max((self.time(op, d) for d in devices), default=0.0)
+
+
+class OracleCommunicationModel:
+    """(src, dst, bytes) -> exact uncontended transfer time."""
+
+    def __init__(self, perf_model: PerfModel) -> None:
+        self.perf = perf_model
+
+    def time(self, src: str, dst: str, num_bytes: int) -> float:
+        return self.perf.base_transfer_time(src, dst, num_bytes)
+
+    def max_time(self, num_bytes: int, pairs: Iterable[Tuple[str, str]]) -> float:
+        return max(
+            (self.time(src, dst, num_bytes) for src, dst in pairs), default=0.0
+        )

@@ -1,0 +1,37 @@
+"""Experiment harness and paper-table reporting for the benchmark suite."""
+
+from . import paper_reference
+from .harness import (
+    STRONG_SCALING_CONFIGS,
+    WEAK_SCALING_CONFIGS,
+    TrialResult,
+    bench_config,
+    cached_trial,
+    measure_strategy,
+    optimized_session,
+    order_enforcement_comparison,
+    run_data_parallel_trial,
+    run_fastt_trial,
+    run_model_parallel_trial,
+    trial,
+)
+from .reporting import format_table, markdown_table, speedup_percent
+
+__all__ = [
+    "STRONG_SCALING_CONFIGS",
+    "TrialResult",
+    "WEAK_SCALING_CONFIGS",
+    "bench_config",
+    "cached_trial",
+    "format_table",
+    "markdown_table",
+    "measure_strategy",
+    "optimized_session",
+    "order_enforcement_comparison",
+    "paper_reference",
+    "run_data_parallel_trial",
+    "run_fastt_trial",
+    "run_model_parallel_trial",
+    "speedup_percent",
+    "trial",
+]

@@ -1,0 +1,106 @@
+"""Reference numbers transcribed from the paper's evaluation section.
+
+Used by the benchmark harness and EXPERIMENTS.md generator to print
+paper-vs-measured comparisons.  Units follow the paper: samples/second
+for Tables 1-2, seconds for Tables 3-4/6, milliseconds/KB for Table 5.
+
+Figure values that are not fully recoverable from the text are stored as
+qualitative expectations instead of fabricated numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+# model -> (global batch,
+#           [1gpu_dp, 2_dp, 2_fastt, 4_dp, 4_fastt, 8_dp, 8_fastt,
+#            8_2srv_dp, 8_2srv_fastt], speedup_percent)
+TABLE1_STRONG_SCALING: Dict[str, Tuple[int, List[float], float]] = {
+    "inception_v3": (64, [191.0, 326.5, 323.2, 467.1, 474.1, 432.4, 438.3, 378.7, 415.6], 1.5),
+    "vgg19": (64, [129.0, 149.5, 199.4, 184.9, 294.9, 126.9, 132.5, 110.7, 122.3], 59.4),
+    "resnet200": (32, [89.3, 114.2, 142.2, 122.1, 132.2, 88.4, 91.1, 77.4, 82.6], 16.4),
+    "lenet": (256, [8827.5, 14222.2, 23272.7, 17006.6, 19692.3, 17066.6, 19692.3, 13473.6, 16000.0], 36.3),
+    "alexnet": (256, [1630.5, 1868.6, 2752.6, 2000.0, 2534.6, 1695.3, 1729.7, 1391.3, 1542.1], 37.6),
+    "gnmt": (128, [301.1, 435.3, 479.4, 573.9, 636.8, 584.4, 606.6, 458.7, 455.5], 8.9),
+    "rnnlm": (64, [345.9, 349.7, 395.0, 335.0, 345.9, 254.9, 273.5, 132.5, 131.1], 12.9),
+    "transformer": (4096, [7613.3, 11221.9, 11346.2, 13518.1, 15515.1, 5244.5, 5258.0, 4586.7, 4807.5], 14.7),
+    "bert_large": (16, [84.2, 115.9, 132.2, 124.0, 152.3, 101.2, 117.6, 82.9, 98.7], 22.8),
+}
+
+# model -> (per-GPU batch,
+#           [1gpu_dp, 2_dp, 2_fastt, 4_dp, 4_fastt, 8_dp, 8_fastt,
+#            16_2srv_dp, 16_2srv_fastt], speedup_percent)
+TABLE2_WEAK_SCALING: Dict[str, Tuple[int, List[float], float]] = {
+    "inception_v3": (64, [195.1, 375.3, 375.3, 695.6, 695.6, 1245.7, 1340.3, 2211.6, 2316.7], 4.7),
+    "vgg19": (64, [130.3, 240.6, 255.4, 475.8, 504.9, 707.1, 819.2, 1155.7, 1378.2], 19.2),
+    "resnet200": (32, [90.6, 175.8, 178.7, 322.4, 346.89, 598.1, 608.0, 942.9, 1001.9], 6.2),
+    "lenet": (256, [9142.8, 16516.1, 18285.7, 20897.9, 24975.6, 21557.8, 23011.2, 18533.9, 22021.5], 15.8),
+    "alexnet": (256, [1600.0, 2508.9, 2994.1, 2708.9, 3112.4, 2756.3, 2904.9, 2848.4, 2890.6], 9.3),
+    "gnmt": (128, [308.4, 571.4, 606.6, 1047.0, 1101.0, 1988.3, 1980.6, 3136.2, 3292.6], 4.9),
+    "rnnlm": (64, [353.5, 592.5, 695.6, 898.2, 930.9, 964.2, 1013.8, 1109.4, 1140.3], 2.7),
+    "transformer": (4096, [7861.8, 15142.3, 15170.3, 26815.0, 28151.2, 47976.5, 50334.9, 73388.6, 73388.6], 0.0),
+    "bert_large": (16, [81.6, 137.3, 146.1, 229.3, 248.0, 361.5, 421.0, 531.1, 572.7], 7.8),
+}
+
+# batch -> (single_gpu, 2gpu_dp, 2gpu_fastt); None means OOM.
+TABLE3_BERT_LARGE: Dict[int, Tuple[Optional[float], Optional[float], Optional[float]]] = {
+    16: (0.192, 0.138, 0.121),
+    32: (None, 0.233, 0.219),
+    40: (None, None, 0.287),
+    48: (None, None, 0.316),
+}
+
+# model -> (2gpu, 4gpu, 8gpu) seconds to run Alg. 2.
+TABLE4_STRATEGY_TIME: Dict[str, Tuple[float, float, float]] = {
+    "bert_large": (448.9, 470.3, 529.9),
+    "inception_v3": (28.7, 64.5, 124.8),
+    "vgg19": (24.41, 62.74, 118.4),
+    "resnet200": (201.2, 481.9, 792.5),
+    "lenet": (3.54, 8.71, 11.28),
+    "alexnet": (4.23, 9.58, 18.46),
+    "transformer": (783.0, 1952.6, 5775.2),
+    "gnmt": (122.31, 259.43, 522.85),
+    "rnnlm": (48.95, 92.31, 174.22),
+}
+
+# op -> (time_ms, weight_kb, split?) for representative VGG-19 ops.
+TABLE5_VGG_SPLITS: Dict[str, Tuple[float, float, bool]] = {
+    "conv1_1": (1.847, 1.792, False),
+    "conv1_2": (11.14, 36.928, True),
+    "conv1_2bp": (26.744, 36.928, True),
+    "relu1_2": (1.08, 0.0, False),
+    "pool1": (0.737, 0.0, False),
+    "fc6": (1.374, 102764.544, False),
+}
+
+# model -> (no_split_s, split_s, speedup_percent, key ops or None).
+TABLE6_SPLIT_ABLATION: Dict[str, Tuple[float, float, float, Optional[str]]] = {
+    "inception_v3": (0.161, 0.154, 4.54, "Conv2D,Conv2Dbp"),
+    "vgg19": (0.356, 0.321, 10.91, "Conv2D,Conv2Dbp"),
+    "resnet200": (0.249, 0.225, 10.67, "Conv2D,Conv2Dbp"),
+    "lenet": (0.011, 0.011, 0.0, None),
+    "alexnet": (0.093, 0.093, 0.0, None),
+    "gnmt": (0.201, 0.201, 0.0, None),
+    "rnnlm": (0.162, 0.162, 0.0, None),
+    "transformer": (0.281, 0.264, 6.44, "MatMul"),
+    "bert_large": (0.113, 0.105, 7.62, "MatMul"),
+}
+
+#: Fig. 2 headline: priority order enforcement reduces per-iteration time
+#: by up to this fraction versus TensorFlow's default FIFO (2 GPUs;
+#: AlexNet, VGG-19, LeNet, ResNet).
+FIG2_MAX_ORDER_GAIN = 0.269
+
+#: Fig. 3 qualitative expectations (exact bars are not recoverable from
+#: the text): FastT > REINFORCE, GDP and Post in every shared cell;
+#: FlexFlow is competitive and can exceed FastT.
+FIG3_MODELS = ("inception_v3", "resnet200", "gnmt", "rnnlm")
+
+#: Fig. 4 qualitative expectation: FastT's op counts per GPU are uneven —
+#: replicas of large-parameter ops concentrate on one GPU.
+FIG4_MODELS = ("alexnet", "vgg19", "lenet")
+
+#: Fig. 5 qualitative expectation (2 GPUs; VGG, ResNet, AlexNet, LeNet):
+#: FastT's computation time >= DP's, its memcpy time and per-iteration
+#: time both lower.
+FIG5_MODELS = ("vgg19", "resnet200", "alexnet", "lenet")

@@ -1,0 +1,62 @@
+"""Text-table rendering for the benchmark suite.
+
+Each renderer prints a table shaped like the paper's, with measured
+values from this reproduction next to the paper's reported numbers where
+available.  Benchmarks call these with ``print`` output enabled so
+``pytest benchmarks/ --benchmark-only -s`` regenerates the evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Simple monospace table with auto-sized columns."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "OOM"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def speedup_percent(fastt: float, baseline: float) -> float:
+    """The paper's speed-up metric: (FastT / best baseline - 1) * 100."""
+    if baseline <= 0 or baseline != baseline or fastt != fastt:
+        return float("nan")
+    return (fastt / baseline - 1.0) * 100.0
+
+
+def markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """GitHub-flavoured markdown rendering (for EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(v) for v in row) + " |")
+    return "\n".join(lines)

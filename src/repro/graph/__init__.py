@@ -1,0 +1,72 @@
+"""Dataflow graph IR: operations, tensors, autodiff, and graph rewrites.
+
+This package is the stand-in for the TensorFlow graph layer FastT hooks
+into.  Import from here rather than the submodules:
+
+>>> from repro.graph import Graph
+>>> g = Graph("demo")
+>>> x = g.create_op("Placeholder", "x", attrs={"shape": (32, 10)})
+"""
+
+from . import op_library  # noqa: F401  (registers all op specs on import)
+from .autodiff import (
+    build_training_graph,
+    gradients,
+    prune_dangling,
+    trainable_variables,
+)
+from .data_parallel import (
+    ModelBuilder,
+    ReplicatedGraphInfo,
+    build_data_parallel_training_graph,
+    build_single_device_training_graph,
+    data_parallel_placement,
+    replica_index_of,
+    replica_prefix,
+)
+from .rewrite import SplitDecision, SplitError, apply_split_list, split_operation
+from .graph import Graph, GraphError
+from .ops import (
+    NotDifferentiableError,
+    Operation,
+    OpSpec,
+    SplitDimSpec,
+    UnknownOpTypeError,
+    get_spec,
+    register_op,
+    registered_types,
+)
+from .op_library import split_sizes
+from .tensor import DTYPE_SIZES, ShapeError, Tensor
+
+__all__ = [
+    "DTYPE_SIZES",
+    "Graph",
+    "GraphError",
+    "ModelBuilder",
+    "ReplicatedGraphInfo",
+    "SplitDecision",
+    "SplitError",
+    "apply_split_list",
+    "build_data_parallel_training_graph",
+    "build_single_device_training_graph",
+    "data_parallel_placement",
+    "prune_dangling",
+    "replica_index_of",
+    "replica_prefix",
+    "split_operation",
+    "NotDifferentiableError",
+    "Operation",
+    "OpSpec",
+    "ShapeError",
+    "SplitDimSpec",
+    "Tensor",
+    "UnknownOpTypeError",
+    "build_training_graph",
+    "get_spec",
+    "gradients",
+    "register_op",
+    "registered_types",
+    "split_sizes",
+    "trainable_variables",
+]

@@ -1,0 +1,269 @@
+"""The dataflow :class:`Graph`: a DAG of operations connected by tensors.
+
+This is the structure FastT's strategy calculator consumes — the analogue
+of a frozen TensorFlow ``GraphDef``.  Graphs are acyclic by construction
+(an op may only consume tensors that already exist), and rewrites
+(operation splitting, data-parallel replication) go through explicit
+mutation helpers so consumer bookkeeping stays consistent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .ops import Operation, get_spec
+from .tensor import Tensor
+
+
+class GraphError(RuntimeError):
+    """Raised on structural violations (cycles, duplicate names, ...)."""
+
+
+class Graph:
+    """A directed acyclic dataflow graph of named operations."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._ops: Dict[str, Operation] = {}
+        self._tensors: Dict[str, Tensor] = {}
+        # tensor name -> list of (consumer op, input index)
+        self._consumers: Dict[str, List[Tuple[Operation, int]]] = {}
+        self._name_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def create_op(
+        self,
+        op_type: str,
+        name: str,
+        inputs: Sequence[Tensor] = (),
+        attrs: Optional[Dict[str, object]] = None,
+        colocation_group: Optional[str] = None,
+    ) -> Operation:
+        """Create an operation, inferring output shapes from its spec.
+
+        Raises :class:`GraphError` if ``name`` is taken or an input tensor
+        does not belong to this graph.
+        """
+        if name in self._ops:
+            raise GraphError(f"duplicate op name {name!r} in graph {self.name!r}")
+        attrs = dict(attrs or {})
+        inputs = list(inputs)
+        for t in inputs:
+            if self._tensors.get(t.name) is not t:
+                raise GraphError(
+                    f"input tensor {t.name!r} of op {name!r} is not in graph "
+                    f"{self.name!r}"
+                )
+        spec = get_spec(op_type)
+        out_shapes = spec.infer_shapes(inputs, attrs)
+        out_dtypes = spec.output_dtypes(inputs, attrs)
+        op = Operation(
+            name=name,
+            op_type=op_type,
+            inputs=inputs,
+            attrs=attrs,
+            colocation_group=colocation_group,
+        )
+        for i, (shape, dtype) in enumerate(zip(out_shapes, out_dtypes)):
+            t = Tensor(f"{name}:{i}", tuple(shape), dtype, producer=op, output_index=i)
+            op.outputs.append(t)
+            self._tensors[t.name] = t
+            self._consumers[t.name] = []
+        self._ops[name] = op
+        for idx, t in enumerate(inputs):
+            self._consumers[t.name].append((op, idx))
+        return op
+
+    def unique_name(self, prefix: str) -> str:
+        """A name starting with ``prefix`` not yet used by any op."""
+        if prefix not in self._ops:
+            return prefix
+        while True:
+            candidate = f"{prefix}_{next(self._name_counter)}"
+            if candidate not in self._ops:
+                return candidate
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def ops(self) -> List[Operation]:
+        """All operations in insertion order."""
+        return list(self._ops.values())
+
+    @property
+    def num_ops(self) -> int:
+        return len(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops.values())
+
+    def get_op(self, name: str) -> Operation:
+        try:
+            return self._ops[name]
+        except KeyError:
+            raise GraphError(f"no op named {name!r} in graph {self.name!r}") from None
+
+    def get_tensor(self, name: str) -> Tensor:
+        try:
+            return self._tensors[name]
+        except KeyError:
+            raise GraphError(
+                f"no tensor named {name!r} in graph {self.name!r}"
+            ) from None
+
+    def consumers(self, tensor: Tensor) -> List[Tuple[Operation, int]]:
+        """The ``(op, input index)`` pairs consuming ``tensor``."""
+        return list(self._consumers.get(tensor.name, ()))
+
+    def predecessors(self, op: Operation) -> List[Operation]:
+        """Unique producer ops of ``op``'s inputs, in input order."""
+        seen: Dict[str, Operation] = {}
+        for t in op.inputs:
+            prod = t.producer
+            if prod is not None and prod.name not in seen:
+                seen[prod.name] = prod
+        return list(seen.values())
+
+    def successors(self, op: Operation) -> List[Operation]:
+        """Unique consumer ops of ``op``'s outputs."""
+        seen: Dict[str, Operation] = {}
+        for t in op.outputs:
+            for consumer, _ in self._consumers.get(t.name, ()):
+                if consumer.name not in seen:
+                    seen[consumer.name] = consumer
+        return list(seen.values())
+
+    def entry_ops(self) -> List[Operation]:
+        """Operations with no predecessors."""
+        return [op for op in self if not op.inputs]
+
+    def exit_ops(self) -> List[Operation]:
+        """Operations none of whose outputs are consumed."""
+        return [op for op in self if not self.successors(op)]
+
+    def edge_bytes(self, src: Operation, dst: Operation) -> int:
+        """Total bytes flowing directly from ``src`` into ``dst``.
+
+        This is the tensor volume the communication cost model prices when
+        the two ops land on different devices.
+        """
+        src_outputs = {t.name for t in src.outputs}
+        return sum(t.size_bytes for t in dst.inputs if t.name in src_outputs)
+
+    # ------------------------------------------------------------------
+    # Traversal / validation
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[Operation]:
+        """Kahn's algorithm; raises :class:`GraphError` on a cycle."""
+        indegree: Dict[str, int] = {}
+        for op in self:
+            indegree[op.name] = len(self.predecessors(op))
+        ready = deque(op for op in self if indegree[op.name] == 0)
+        order: List[Operation] = []
+        while ready:
+            op = ready.popleft()
+            order.append(op)
+            for succ in self.successors(op):
+                indegree[succ.name] -= 1
+                if indegree[succ.name] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._ops):
+            raise GraphError(
+                f"graph {self.name!r} contains a cycle "
+                f"({len(self._ops) - len(order)} ops unreachable); FastT only "
+                "handles DAGs — unroll while-loops before scheduling"
+            )
+        return order
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`GraphError` on failure."""
+        self.topological_order()
+        for op in self:
+            for t in op.outputs:
+                if self._tensors.get(t.name) is not t:
+                    raise GraphError(f"output {t.name!r} missing from tensor table")
+            for idx, t in enumerate(op.inputs):
+                pairs = self._consumers.get(t.name, ())
+                if not any(c is op and i == idx for c, i in pairs):
+                    raise GraphError(
+                        f"consumer table out of sync for {t.name!r} -> "
+                        f"{op.name!r}[{idx}]"
+                    )
+
+    def total_flops(self) -> float:
+        return sum(op.flops for op in self)
+
+    def total_param_bytes(self) -> int:
+        return sum(op.param_bytes for op in self)
+
+    # ------------------------------------------------------------------
+    # Mutation (used by graph rewrites)
+    # ------------------------------------------------------------------
+    def replace_input(self, op: Operation, index: int, new_tensor: Tensor) -> None:
+        """Rewire input ``index`` of ``op`` to ``new_tensor``."""
+        if self._tensors.get(new_tensor.name) is not new_tensor:
+            raise GraphError(f"tensor {new_tensor.name!r} is not in this graph")
+        old = op.inputs[index]
+        pairs = self._consumers[old.name]
+        self._consumers[old.name] = [
+            (c, i) for c, i in pairs if not (c is op and i == index)
+        ]
+        op.inputs[index] = new_tensor
+        self._consumers[new_tensor.name].append((op, index))
+
+    def remove_op(self, op: Operation) -> None:
+        """Remove ``op``; its outputs must be unconsumed."""
+        for t in op.outputs:
+            if self._consumers.get(t.name):
+                raise GraphError(
+                    f"cannot remove {op.name!r}: output {t.name!r} still has "
+                    f"consumers"
+                )
+        for idx, t in enumerate(op.inputs):
+            pairs = self._consumers[t.name]
+            self._consumers[t.name] = [
+                (c, i) for c, i in pairs if not (c is op and i == idx)
+            ]
+        for t in op.outputs:
+            del self._tensors[t.name]
+            del self._consumers[t.name]
+        del self._ops[op.name]
+
+    def copy(self, name: Optional[str] = None) -> "Graph":
+        """Structural deep copy (new Operation/Tensor objects, same names)."""
+        clone = Graph(name or self.name)
+        for op in self.topological_order():
+            new_inputs = [clone.get_tensor(t.name) for t in op.inputs]
+            clone.create_op(
+                op.op_type,
+                op.name,
+                new_inputs,
+                attrs=dict(op.attrs),
+                colocation_group=op.colocation_group,
+            )
+        return clone
+
+    # ------------------------------------------------------------------
+    # Colocation
+    # ------------------------------------------------------------------
+    def colocation_groups(self) -> Dict[str, List[Operation]]:
+        """Map group id -> member ops, for ops that declare a group."""
+        groups: Dict[str, List[Operation]] = {}
+        for op in self:
+            if op.colocation_group is not None:
+                groups.setdefault(op.colocation_group, []).append(op)
+        return groups
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph({self.name!r}, {len(self._ops)} ops)"

@@ -1,0 +1,94 @@
+"""Tensors: the values flowing along edges of the dataflow graph.
+
+A :class:`Tensor` is produced by exactly one operation output slot and may
+be consumed by any number of downstream operations.  FastT's scheduling
+algorithms only ever need a tensor's *size in bytes* (to estimate transfer
+cost) and its *shape* (to reason about split dimensions), so tensors here
+are lightweight descriptors, not numeric buffers.  Numeric execution for
+semantics tests lives in :mod:`repro.graph.numeric`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .ops import Operation
+
+#: Bytes per element for the dtypes we model.
+DTYPE_SIZES = {
+    "float16": 2,
+    "float32": 4,
+    "float64": 8,
+    "int32": 4,
+    "int64": 8,
+    "bool": 1,
+}
+
+
+class ShapeError(ValueError):
+    """Raised when shapes are inconsistent with an operation's contract."""
+
+
+def shape_num_elements(shape: Tuple[int, ...]) -> int:
+    """Number of elements in ``shape`` (1 for a scalar / rank-0 shape)."""
+    return int(math.prod(shape)) if shape else 1
+
+
+@dataclass(eq=False)
+class Tensor:
+    """A symbolic tensor: one output of one operation.
+
+    Attributes:
+        name: Globally unique name, conventionally ``"<op name>:<index>"``.
+        shape: Static shape.  All dims must be positive; we do not model
+            unknown dimensions because the scheduler needs concrete sizes.
+        dtype: One of :data:`DTYPE_SIZES`.
+        producer: The operation producing this tensor (set by the op
+            constructor).
+        output_index: Which output slot of ``producer`` this tensor is.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str = "float32"
+    producer: Optional["Operation"] = field(default=None, repr=False)
+    output_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dtype not in DTYPE_SIZES:
+            raise ValueError(f"unknown dtype {self.dtype!r} for tensor {self.name!r}")
+        self.shape = tuple(int(d) for d in self.shape)
+        if any(d <= 0 for d in self.shape):
+            raise ShapeError(
+                f"tensor {self.name!r} has non-positive dimension in shape {self.shape}"
+            )
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count."""
+        return shape_num_elements(self.shape)
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of this tensor in bytes; the unit of the communication model."""
+        return self.num_elements * DTYPE_SIZES[self.dtype]
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def with_dim(self, axis: int, new_size: int) -> Tuple[int, ...]:
+        """Return this tensor's shape with dimension ``axis`` replaced."""
+        if not 0 <= axis < self.rank:
+            raise ShapeError(f"axis {axis} out of range for shape {self.shape}")
+        if new_size <= 0:
+            raise ShapeError(f"replacement size {new_size} must be positive")
+        shape = list(self.shape)
+        shape[axis] = int(new_size)
+        return tuple(shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor({self.name!r}, shape={self.shape}, dtype={self.dtype})"

@@ -1,0 +1,5 @@
+"""Ground-truth hardware timing (the simulated V100 testbed)."""
+
+from .perf_model import DEFAULT_EFFICIENCY, PerfModel
+
+__all__ = ["DEFAULT_EFFICIENCY", "PerfModel"]

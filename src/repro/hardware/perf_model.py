@@ -1,0 +1,119 @@
+"""Ground-truth hardware performance model (the simulated testbed).
+
+This module plays the role the physical V100s play in the paper: it
+decides how long each kernel *actually* takes.  FastT's algorithms never
+import it — they only see durations through the profiler, mirroring the
+paper's measurement-driven cost models.
+
+The model is an analytic roofline: a kernel needs
+``flops / (efficiency * peak_flops)`` seconds of math and
+``bytes / memory_bandwidth`` seconds of memory traffic; the slower of the
+two dominates, plus a fixed kernel-launch overhead.  Per-op-type
+efficiency factors capture that GEMM-like kernels come close to peak
+while convolutions and fused RNN cells lose more to im2col/launch
+inefficiencies.  Optional multiplicative noise models run-to-run jitter
+so the profiler has something to average over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..cluster import Device, Topology
+from ..graph import Operation
+
+#: Fraction of peak FP32 throughput each op class achieves.  The conv
+#: numbers are calibrated against the paper's own kernel measurements
+#: (Table 5: VGG-19 conv1_2 takes 11.14 ms forward and 26.74 ms backward
+#: at its best-speed-up setting, implying ~0.34 / ~0.15 of V100 FP32
+#: peak — im2col and dgrad/wgrad kernels are far from GEMM efficiency).
+DEFAULT_EFFICIENCY: Dict[str, float] = {
+    "Conv2D": 0.34,
+    "Conv2DBackpropInput": 0.16,
+    "Conv2DBackpropFilter": 0.16,
+    "MatMul": 0.70,
+    "LSTMCell": 0.45,
+    "LSTMCellGrad": 0.45,
+    "Embedding": 0.10,
+    "EmbeddingGrad": 0.10,
+}
+_DEFAULT_EFF = 0.25  # everything else (elementwise is bandwidth-bound anyway)
+
+
+@dataclass
+class PerfModel:
+    """Analytic kernel/transfer timing with optional jitter.
+
+    Attributes:
+        topology: Cluster whose links price transfers.
+        noise_sigma: Std-dev of the multiplicative lognormal-ish jitter
+            applied per execution (0 disables noise).
+        efficiency: Per-op-type fraction of peak FLOPs achieved.
+        seed: Seed for the jitter stream.
+    """
+
+    topology: Topology
+    noise_sigma: float = 0.0
+    efficiency: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_EFFICIENCY)
+    )
+    seed: int = 0
+    #: Output elements needed to saturate the GPU's thread capacity; below
+    #: this, achieved throughput degrades linearly.  This is what makes
+    #: small per-GPU batches inefficient — the effect the paper cites for
+    #: data parallelism's poor strong scaling ("smaller batch size per GPU
+    #: which cannot achieve good GPU utilization", Sec. 6.3).
+    saturation_elements: int = 131072
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the jitter stream (used between simulated runs)."""
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def base_op_time(self, op: Operation, device: Device) -> float:
+        """Noise-free execution time of ``op`` on ``device``."""
+        spec = device.spec
+        eff = self.efficiency.get(op.op_type, _DEFAULT_EFF)
+        if op.flops:
+            # Exploitable parallelism: the widest tensor the kernel touches
+            # (outputs alone would starve update ops whose dataflow output
+            # is a 1-element completion token).
+            out_elems = sum(t.num_elements for t in op.outputs)
+            in_elems = sum(t.num_elements for t in op.inputs)
+            width = max(out_elems, in_elems, 1)
+            utilization = min(1.0, width / self.saturation_elements)
+            utilization = max(utilization, 1e-3)
+            compute = op.flops / (eff * spec.peak_flops * utilization)
+        else:
+            compute = 0.0
+        traffic = op.bytes_accessed / spec.memory_bandwidth
+        if op.flops == 0.0 and op.op_type in ("Placeholder", "Variable", "Const", "NoOp"):
+            # Feeds/parameter reads are resident; charge only the launch.
+            traffic = 0.0
+        return spec.kernel_launch_overhead + max(compute, traffic)
+
+    def op_time(self, op: Operation, device: Device) -> float:
+        """One observed execution: base time with jitter applied."""
+        return self._jitter(self.base_op_time(op, device))
+
+    def base_transfer_time(self, src: str, dst: str, num_bytes: int) -> float:
+        """Noise-free tensor transfer duration between two devices."""
+        return self.topology.transfer_time(src, dst, num_bytes)
+
+    def transfer_time(self, src: str, dst: str, num_bytes: int) -> float:
+        """One observed transfer duration with jitter."""
+        base = self.base_transfer_time(src, dst, num_bytes)
+        return self._jitter(base) if base else 0.0
+
+    # ------------------------------------------------------------------
+    def _jitter(self, value: float) -> float:
+        if self.noise_sigma <= 0.0 or value <= 0.0:
+            return value
+        factor = float(self._rng.normal(1.0, self.noise_sigma))
+        return value * max(factor, 0.1)

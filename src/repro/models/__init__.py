@@ -1,0 +1,34 @@
+"""Model zoo: the nine benchmark DNNs of the paper's evaluation."""
+
+from .alexnet import build_alexnet
+from .bert import bert_large_params, build_bert, build_bert_large
+from .gnmt import build_gnmt
+from .inception import build_inception_v3
+from .layers import LayerHelper
+from .lenet import build_lenet
+from .registry import MODEL_ORDER, ModelSpec, all_models, get_model, model_names
+from .resnet import build_resnet, build_resnet200
+from .rnnlm import build_rnnlm
+from .transformer import build_transformer
+from .vgg import build_vgg19
+
+__all__ = [
+    "LayerHelper",
+    "MODEL_ORDER",
+    "ModelSpec",
+    "all_models",
+    "bert_large_params",
+    "build_alexnet",
+    "build_bert",
+    "build_bert_large",
+    "build_gnmt",
+    "build_inception_v3",
+    "build_lenet",
+    "build_resnet",
+    "build_resnet200",
+    "build_rnnlm",
+    "build_transformer",
+    "build_vgg19",
+    "get_model",
+    "model_names",
+]

@@ -1,0 +1,38 @@
+"""AlexNet (Krizhevsky et al., 2012): 5 convolutions + 3 dense layers.
+
+Its hallmark — small convolutional compute but huge fully-connected
+parameters — is exactly what drives the paper's Fig. 4/Table 5 analysis:
+FastT keeps the big-parameter fc replicas on one GPU to avoid gradient
+aggregation traffic.
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, Tensor
+from .layers import LayerHelper
+
+
+def build_alexnet(
+    graph: Graph,
+    prefix: str,
+    batch: int,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    fc_units: int = 4096,
+) -> Tensor:
+    """AlexNet: five convolutions (two with LRN) and three dense layers."""
+    net = LayerHelper(graph, prefix)
+    x = net.placeholder("images", (batch, image_size, image_size, 3))
+    y = net.conv(x, "conv1", ksize=11, out_channels=64, stride=4, lrn=True)
+    y = net.max_pool(y, "pool1", ksize=3, stride=2)
+    y = net.conv(y, "conv2", ksize=5, out_channels=192, lrn=True)
+    y = net.max_pool(y, "pool2", ksize=3, stride=2)
+    y = net.conv(y, "conv3", ksize=3, out_channels=384)
+    y = net.conv(y, "conv4", ksize=3, out_channels=256)
+    y = net.conv(y, "conv5", ksize=3, out_channels=256)
+    y = net.max_pool(y, "pool5", ksize=3, stride=2)
+    y = net.flatten(y, "flatten")
+    y = net.dense(y, "fc6", fc_units, relu=True, dropout=0.5)
+    y = net.dense(y, "fc7", fc_units, relu=True, dropout=0.5)
+    logits = net.dense(y, "fc8", num_classes)
+    return net.softmax_loss(logits)

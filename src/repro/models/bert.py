@@ -1,0 +1,66 @@
+"""BERT (Devlin et al.): deep bidirectional Transformer encoder.
+
+The paper trains BERT-large (24 layers, hidden 1024, 16 heads) with a
+maximum sequence length of 64 and a masked-LM head; its tiny feasible
+batch per GPU is what gives FastT the largest optimization room (Sec.
+6.3) and drives the Table 3 larger-batch experiment.  ``bert_large_params``
+is the paper-size configuration; the benchmark preset shrinks depth and
+width for strategy-search tractability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..graph import Graph, Tensor
+from .layers import LayerHelper
+from .transformer import _embed_sequence, _encoder_layer
+
+
+def bert_large_params() -> Dict[str, int]:
+    """The real BERT-large shape with the paper's sequence length."""
+    return {
+        "seq_len": 64,
+        "vocab_size": 30522,
+        "model_dim": 1024,
+        "ffn_dim": 4096,
+        "num_heads": 16,
+        "num_layers": 24,
+    }
+
+
+def build_bert(
+    graph: Graph,
+    prefix: str,
+    batch: int,
+    seq_len: int = 64,
+    vocab_size: int = 30522,
+    model_dim: int = 512,
+    ffn_dim: int = 2048,
+    num_heads: int = 8,
+    num_layers: int = 6,
+) -> Tensor:
+    """BERT encoder with a masked-LM projection head.
+
+    ``batch`` counts sequences (the paper's "samples"), unlike the
+    Transformer builder's token-denominated batch.
+    """
+    net = LayerHelper(graph, prefix)
+    x = _embed_sequence(net, "input", batch, seq_len, vocab_size, model_dim)
+    x = net.layer_norm(x, "embed_ln")
+    for layer in range(num_layers):
+        x = _encoder_layer(
+            net, x, f"layer{layer}", batch, seq_len, num_heads, model_dim,
+            ffn_dim,
+        )
+    transformed = net.dense(x, "mlm_transform", model_dim, relu=True)
+    transformed = net.layer_norm(transformed, "mlm_ln")
+    logits = net.dense(transformed, "mlm_logits", vocab_size)
+    labels = net.placeholder("mlm_labels", (batch * seq_len,), dtype="int32")
+    return net.softmax_loss(logits, labels=labels)
+
+
+def build_bert_large(graph: Graph, prefix: str, batch: int, **overrides) -> Tensor:
+    params = bert_large_params()
+    params.update(overrides)
+    return build_bert(graph, prefix, batch, **params)

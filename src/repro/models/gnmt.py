@@ -1,0 +1,77 @@
+"""GNMT (Wu et al.), 4-layer variant: LSTM encoder-decoder with attention.
+
+A 4-layer unrolled LSTM encoder, a 4-layer decoder, and Luong-style
+attention computed with batched matmuls over the full sequences.  Like
+RNNLM, the LSTM cells offer no split dimensions, matching the paper's
+"None" split entry for GNMT.
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, Tensor
+from .layers import LayerHelper
+from .rnnlm import sequence_steps
+
+
+def build_gnmt(
+    graph: Graph,
+    prefix: str,
+    batch: int,
+    src_len: int = 16,
+    tgt_len: int = 16,
+    vocab_size: int = 16000,
+    hidden: int = 512,
+    num_layers: int = 4,
+) -> Tensor:
+    """GNMT: 4-layer LSTM encoder/decoder with Luong attention."""
+    net = LayerHelper(graph, prefix)
+
+    # Encoder.
+    src_ids = net.placeholder("src_tokens", (batch, src_len), dtype="int32")
+    src_embed = net.embedding(src_ids, "src_embed", vocab_size, hidden)
+    enc_steps = sequence_steps(net, src_embed, "enc_in", batch, src_len, hidden)
+    enc_outputs = net.lstm_stack(
+        enc_steps, "encoder", hidden=hidden, num_layers=num_layers
+    )
+
+    # Decoder.
+    tgt_ids = net.placeholder("tgt_tokens", (batch, tgt_len), dtype="int32")
+    tgt_embed = net.embedding(tgt_ids, "tgt_embed", vocab_size, hidden)
+    dec_steps = sequence_steps(net, tgt_embed, "dec_in", batch, tgt_len, hidden)
+    dec_outputs = net.lstm_stack(
+        dec_steps, "decoder", hidden=hidden, num_layers=num_layers
+    )
+
+    # Luong attention over the whole sequences via batched matmuls:
+    # concat per-step [b, h] outputs to [t*b, h], reshape to [t, b, h] and
+    # transpose into the [b, t, h] layout batched MatMul expects.
+    enc_flat = net.op(
+        "Concat", "enc_stack", enc_outputs, attrs={"axis": 0}
+    ).outputs[0]
+    enc_seq = net.transpose(
+        net.reshape(enc_flat, "enc_tbh", (src_len, batch, hidden)),
+        "enc_bth",
+        (1, 0, 2),
+    )
+    dec_flat = net.op(
+        "Concat", "dec_stack", dec_outputs, attrs={"axis": 0}
+    ).outputs[0]
+    dec_seq = net.transpose(
+        net.reshape(dec_flat, "dec_tbh", (tgt_len, batch, hidden)),
+        "dec_bth",
+        (1, 0, 2),
+    )
+    scores = net.op(
+        "MatMul", "attn_scores", [dec_seq, enc_seq], attrs={"transpose_b": True}
+    ).outputs[0]
+    probs = net.op("Softmax", "attn_probs", [scores]).outputs[0]
+    context = net.op("MatMul", "attn_context", [probs, enc_seq]).outputs[0]
+
+    combined = net.op(
+        "Concat", "attn_concat", [dec_seq, context], attrs={"axis": 2}
+    ).outputs[0]
+    combined2 = net.reshape(combined, "attn_flat", (batch * tgt_len, 2 * hidden))
+    attended = net.dense(combined2, "attn_proj", hidden, relu=True)
+    logits = net.dense(attended, "proj", vocab_size)
+    labels = net.placeholder("labels", (batch * tgt_len,), dtype="int32")
+    return net.softmax_loss(logits, labels=labels)

@@ -1,0 +1,118 @@
+"""Inception-v3 (Szegedy et al.): multi-branch modules with concats.
+
+The branchy module structure gives the scheduler genuine cross-operation
+parallelism — the case where placement and execution order matter most,
+and the model where REINFORCE/GDP reported their headline results
+(Fig. 3 compares against them on exactly this network).
+
+``module_counts`` scales the number of (A, B, C) modules; the paper-size
+network uses (3, 4, 2), the benchmark preset fewer.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..graph import Graph, Tensor
+from .layers import LayerHelper
+
+INCEPTION_V3_MODULES: Tuple[int, int, int] = (3, 4, 2)
+INCEPTION_BENCH_MODULES: Tuple[int, int, int] = (2, 2, 1)
+
+
+def _module_a(net: LayerHelper, x: Tensor, name: str, pool_proj: int) -> Tensor:
+    """35x35-style module: 1x1 / 5x5 / double-3x3 / pool-proj branches."""
+    b1 = net.conv(x, f"{name}_1x1", ksize=1, out_channels=64)
+    b2 = net.conv(x, f"{name}_5x5_reduce", ksize=1, out_channels=48)
+    b2 = net.conv(b2, f"{name}_5x5", ksize=5, out_channels=64)
+    b3 = net.conv(x, f"{name}_3x3_reduce", ksize=1, out_channels=64)
+    b3 = net.conv(b3, f"{name}_3x3_1", ksize=3, out_channels=96)
+    b3 = net.conv(b3, f"{name}_3x3_2", ksize=3, out_channels=96)
+    b4 = net.avg_pool(x, f"{name}_pool", ksize=3, stride=1, padding="SAME")
+    b4 = net.conv(b4, f"{name}_pool_proj", ksize=1, out_channels=pool_proj)
+    return net.op(
+        "Concat", f"{name}_concat", [b1, b2, b3, b4], attrs={"axis": 3}
+    ).outputs[0]
+
+
+def _module_b(net: LayerHelper, x: Tensor, name: str, channels: int = 192) -> Tensor:
+    """17x17-style module with factorized (here kept square) convolutions."""
+    b1 = net.conv(x, f"{name}_1x1", ksize=1, out_channels=channels)
+    b2 = net.conv(x, f"{name}_7x7_reduce", ksize=1, out_channels=channels // 2)
+    b2 = net.conv(b2, f"{name}_7x7", ksize=7, out_channels=channels)
+    b3 = net.conv(x, f"{name}_dbl_reduce", ksize=1, out_channels=channels // 2)
+    b3 = net.conv(b3, f"{name}_dbl_1", ksize=7, out_channels=channels // 2)
+    b3 = net.conv(b3, f"{name}_dbl_2", ksize=7, out_channels=channels)
+    b4 = net.avg_pool(x, f"{name}_pool", ksize=3, stride=1, padding="SAME")
+    b4 = net.conv(b4, f"{name}_pool_proj", ksize=1, out_channels=channels)
+    return net.op(
+        "Concat", f"{name}_concat", [b1, b2, b3, b4], attrs={"axis": 3}
+    ).outputs[0]
+
+
+def _module_c(net: LayerHelper, x: Tensor, name: str) -> Tensor:
+    """8x8-style module with wide expanded branches."""
+    b1 = net.conv(x, f"{name}_1x1", ksize=1, out_channels=320)
+    b2 = net.conv(x, f"{name}_3x3_reduce", ksize=1, out_channels=384)
+    b2a = net.conv(b2, f"{name}_3x3_a", ksize=3, out_channels=384)
+    b2b = net.conv(b2, f"{name}_3x3_b", ksize=3, out_channels=384)
+    b3 = net.conv(x, f"{name}_dbl_reduce", ksize=1, out_channels=448)
+    b3 = net.conv(b3, f"{name}_dbl_1", ksize=3, out_channels=384)
+    b3a = net.conv(b3, f"{name}_dbl_2a", ksize=3, out_channels=384)
+    b3b = net.conv(b3, f"{name}_dbl_2b", ksize=3, out_channels=384)
+    b4 = net.avg_pool(x, f"{name}_pool", ksize=3, stride=1, padding="SAME")
+    b4 = net.conv(b4, f"{name}_pool_proj", ksize=1, out_channels=192)
+    return net.op(
+        "Concat",
+        f"{name}_concat",
+        [b1, b2a, b2b, b3a, b3b, b4],
+        attrs={"axis": 3},
+    ).outputs[0]
+
+
+def _reduction(net: LayerHelper, x: Tensor, name: str, channels: int) -> Tensor:
+    """Grid-size reduction: strided conv branches + max-pool, concatenated."""
+    b1 = net.conv(x, f"{name}_3x3", ksize=3, out_channels=channels, stride=2)
+    b2 = net.conv(x, f"{name}_dbl_reduce", ksize=1, out_channels=channels // 2)
+    b2 = net.conv(b2, f"{name}_dbl_1", ksize=3, out_channels=channels // 2)
+    b2 = net.conv(b2, f"{name}_dbl_2", ksize=3, out_channels=channels, stride=2)
+    b3 = net.max_pool(x, f"{name}_pool", ksize=3, stride=2, padding="SAME")
+    return net.op(
+        "Concat", f"{name}_concat", [b1, b2, b3], attrs={"axis": 3}
+    ).outputs[0]
+
+
+def build_inception_v3(
+    graph: Graph,
+    prefix: str,
+    batch: int,
+    image_size: int = 299,
+    num_classes: int = 1000,
+    module_counts: Tuple[int, int, int] = INCEPTION_V3_MODULES,
+) -> Tensor:
+    """Inception-v3: stem + A/B/C module stacks with grid reductions."""
+    net = LayerHelper(graph, prefix)
+    y = net.placeholder("images", (batch, image_size, image_size, 3))
+    # Stem.
+    y = net.conv(y, "stem_conv1", ksize=3, out_channels=32, stride=2, padding="VALID")
+    y = net.conv(y, "stem_conv2", ksize=3, out_channels=32, padding="VALID")
+    y = net.conv(y, "stem_conv3", ksize=3, out_channels=64)
+    y = net.max_pool(y, "stem_pool1", ksize=3, stride=2)
+    y = net.conv(y, "stem_conv4", ksize=1, out_channels=80, padding="VALID")
+    y = net.conv(y, "stem_conv5", ksize=3, out_channels=192, padding="VALID")
+    y = net.max_pool(y, "stem_pool2", ksize=3, stride=2)
+    # Inception stacks with reductions between them.
+    n_a, n_b, n_c = module_counts
+    for i in range(n_a):
+        y = _module_a(net, y, f"mixed_a{i + 1}", pool_proj=32 if i == 0 else 64)
+    y = _reduction(net, y, "reduction_a", channels=384)
+    for i in range(n_b):
+        y = _module_b(net, y, f"mixed_b{i + 1}")
+    y = _reduction(net, y, "reduction_b", channels=320)
+    for i in range(n_c):
+        y = _module_c(net, y, f"mixed_c{i + 1}")
+    y = net.avg_pool(y, "global_pool", ksize=y.shape[1], stride=y.shape[1])
+    y = net.flatten(y, "flatten")
+    y = net.op("Dropout", "dropout", [y], attrs={"rate": 0.2}).outputs[0]
+    logits = net.dense(y, "fc", num_classes)
+    return net.softmax_loss(logits)

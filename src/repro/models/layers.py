@@ -1,0 +1,241 @@
+"""Layer-level helpers for building model DAGs.
+
+The zoo's builders emit TensorFlow-1.x-granularity operations through
+this thin helper, which handles name prefixing (data-parallel towers
+reuse one builder under different prefixes) and the usual layer idioms
+(conv + bias + relu, dense, batch norm, LSTM stacks).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..graph import Graph, Tensor
+
+
+class LayerHelper:
+    """Builds named layers into a graph under a tower prefix."""
+
+    def __init__(self, graph: Graph, prefix: str = "") -> None:
+        self.graph = graph
+        self.prefix = prefix
+
+    # ------------------------------------------------------------------
+    def op(self, op_type: str, name: str, inputs=(), attrs=None, **kwargs):
+        return self.graph.create_op(
+            op_type, f"{self.prefix}{name}", inputs, attrs=attrs, **kwargs
+        )
+
+    def placeholder(self, name: str, shape, dtype: str = "float32") -> Tensor:
+        return self.op(
+            "Placeholder", name, attrs={"shape": tuple(shape), "dtype": dtype}
+        ).outputs[0]
+
+    def variable(self, name: str, shape) -> Tensor:
+        return self.op("Variable", name, attrs={"shape": tuple(shape)}).outputs[0]
+
+    # ------------------------------------------------------------------
+    def conv(
+        self,
+        x: Tensor,
+        name: str,
+        ksize: int,
+        out_channels: int,
+        stride: int = 1,
+        padding: str = "SAME",
+        relu: bool = True,
+        batch_norm: bool = False,
+        lrn: bool = False,
+    ) -> Tensor:
+        """Conv2D (+ optional BN/LRN) + bias + optional ReLU."""
+        in_channels = x.shape[3]
+        w = self.variable(f"{name}_w", (ksize, ksize, in_channels, out_channels))
+        y = self.op(
+            "Conv2D", name, [x, w], attrs={"stride": stride, "padding": padding}
+        ).outputs[0]
+        if batch_norm:
+            gamma = self.variable(f"{name}_gamma", (out_channels,))
+            beta = self.variable(f"{name}_beta", (out_channels,))
+            y = self.op("BatchNorm", f"{name}_bn", [y, gamma, beta]).outputs[0]
+        else:
+            b = self.variable(f"{name}_b", (out_channels,))
+            y = self.op("BiasAdd", f"{name}_bias", [y, b]).outputs[0]
+        if relu:
+            y = self.op("Relu", f"{name}_relu", [y]).outputs[0]
+        if lrn:
+            y = self.op("LRN", f"{name}_lrn", [y]).outputs[0]
+        return y
+
+    def max_pool(
+        self, x: Tensor, name: str, ksize: int = 2, stride: Optional[int] = None,
+        padding: str = "VALID",
+    ) -> Tensor:
+        return self.op(
+            "MaxPool",
+            name,
+            [x],
+            attrs={"ksize": ksize, "stride": stride or ksize, "padding": padding},
+        ).outputs[0]
+
+    def avg_pool(
+        self, x: Tensor, name: str, ksize: int = 2, stride: Optional[int] = None,
+        padding: str = "VALID",
+    ) -> Tensor:
+        return self.op(
+            "AvgPool",
+            name,
+            [x],
+            attrs={"ksize": ksize, "stride": stride or ksize, "padding": padding},
+        ).outputs[0]
+
+    def flatten(self, x: Tensor, name: str) -> Tensor:
+        batch = x.shape[0]
+        features = x.num_elements // batch
+        return self.op(
+            "Reshape", name, [x], attrs={"shape": (batch, features)}
+        ).outputs[0]
+
+    def dense(
+        self, x: Tensor, name: str, units: int, relu: bool = False,
+        dropout: float = 0.0,
+    ) -> Tensor:
+        """Fully connected layer over the last axis of a rank-2 input."""
+        w = self.variable(f"{name}_w", (x.shape[-1], units))
+        y = self.op("MatMul", name, [x, w]).outputs[0]
+        b = self.variable(f"{name}_b", (units,))
+        y = self.op("BiasAdd", f"{name}_bias", [y, b]).outputs[0]
+        if relu:
+            y = self.op("Relu", f"{name}_relu", [y]).outputs[0]
+        if dropout > 0.0:
+            y = self.op(
+                "Dropout", f"{name}_drop", [y], attrs={"rate": dropout}
+            ).outputs[0]
+        return y
+
+    def layer_norm(self, x: Tensor, name: str) -> Tensor:
+        dim = x.shape[-1]
+        gamma = self.variable(f"{name}_gamma", (dim,))
+        beta = self.variable(f"{name}_beta", (dim,))
+        return self.op("LayerNorm", name, [x, gamma, beta]).outputs[0]
+
+    def embedding(self, ids: Tensor, name: str, vocab: int, dim: int) -> Tensor:
+        table = self.variable(f"{name}_table", (vocab, dim))
+        return self.op("Embedding", name, [table, ids]).outputs[0]
+
+    def residual_add(self, a: Tensor, b: Tensor, name: str) -> Tensor:
+        return self.op("Add", name, [a, b]).outputs[0]
+
+    # ------------------------------------------------------------------
+    def lstm_stack(
+        self,
+        x_steps: Sequence[Tensor],
+        name: str,
+        hidden: int,
+        num_layers: int,
+    ) -> List[Tensor]:
+        """Unrolled multi-layer LSTM; returns top-layer outputs per step.
+
+        Weights are shared across time steps within a layer, as in a real
+        recurrent cell — each step's op consumes the same variable.
+        """
+        batch = x_steps[0].shape[0]
+        outputs = list(x_steps)
+        for layer in range(num_layers):
+            in_dim = outputs[0].shape[1]
+            w = self.variable(f"{name}_l{layer}_w", (in_dim + hidden, 4 * hidden))
+            b = self.variable(f"{name}_l{layer}_b", (4 * hidden,))
+            h = self.op("Const", f"{name}_l{layer}_h0", attrs={"shape": (batch, hidden)}).outputs[0]
+            c = self.op("Const", f"{name}_l{layer}_c0", attrs={"shape": (batch, hidden)}).outputs[0]
+            layer_out: List[Tensor] = []
+            for t, x in enumerate(outputs):
+                cell = self.op(
+                    "LSTMCell", f"{name}_l{layer}_t{t}", [x, h, c, w, b]
+                )
+                h, c = cell.outputs[0], cell.outputs[1]
+                layer_out.append(h)
+            outputs = layer_out
+        return outputs
+
+    # ------------------------------------------------------------------
+    def reshape(self, x: Tensor, name: str, shape) -> Tensor:
+        return self.op("Reshape", name, [x], attrs={"shape": tuple(shape)}).outputs[0]
+
+    def transpose(self, x: Tensor, name: str, perm) -> Tensor:
+        return self.op("Transpose", name, [x], attrs={"perm": tuple(perm)}).outputs[0]
+
+    def _fold_heads(
+        self, x: Tensor, name: str, batch: int, seq: int, heads: int, dk: int
+    ) -> Tensor:
+        """[b*t, d] -> [b*heads, t, dk] for batched attention matmuls."""
+        y = self.reshape(x, f"{name}_split", (batch, seq, heads, dk))
+        y = self.transpose(y, f"{name}_perm", (0, 2, 1, 3))
+        return self.reshape(y, f"{name}_fold", (batch * heads, seq, dk))
+
+    def multi_head_attention(
+        self,
+        query: Tensor,
+        memory: Tensor,
+        name: str,
+        batch: int,
+        query_len: int,
+        memory_len: int,
+        num_heads: int,
+        model_dim: int,
+        dropout: float = 0.1,
+    ) -> Tensor:
+        """Scaled dot-product multi-head attention.
+
+        ``query`` is ``[batch*query_len, model_dim]`` and ``memory`` is
+        ``[batch*memory_len, model_dim]`` (self-attention passes the same
+        tensor twice).  Heads are folded into the batched-matmul batch
+        dimension, matching how TF graphs express attention as MatMul +
+        Softmax kernels — the ops the paper reports being split for
+        Transformer and BERT (Table 6).
+        """
+        if model_dim % num_heads:
+            raise ValueError(
+                f"model dim {model_dim} not divisible by {num_heads} heads"
+            )
+        dk = model_dim // num_heads
+        q = self.dense(query, f"{name}_q", model_dim)
+        k = self.dense(memory, f"{name}_k", model_dim)
+        v = self.dense(memory, f"{name}_v", model_dim)
+        q3 = self._fold_heads(q, f"{name}_qh", batch, query_len, num_heads, dk)
+        k3 = self._fold_heads(k, f"{name}_kh", batch, memory_len, num_heads, dk)
+        v3 = self._fold_heads(v, f"{name}_vh", batch, memory_len, num_heads, dk)
+        scores = self.op(
+            "MatMul", f"{name}_scores", [q3, k3], attrs={"transpose_b": True}
+        ).outputs[0]
+        probs = self.op("Softmax", f"{name}_probs", [scores]).outputs[0]
+        if dropout > 0.0:
+            probs = self.op(
+                "Dropout", f"{name}_drop", [probs], attrs={"rate": dropout}
+            ).outputs[0]
+        context = self.op("MatMul", f"{name}_context", [probs, v3]).outputs[0]
+        y = self.reshape(
+            context, f"{name}_unfold", (batch, num_heads, query_len, dk)
+        )
+        y = self.transpose(y, f"{name}_unperm", (0, 2, 1, 3))
+        y = self.reshape(y, f"{name}_merge", (batch * query_len, model_dim))
+        return self.dense(y, f"{name}_o", model_dim)
+
+    def transformer_ffn(
+        self, x: Tensor, name: str, hidden: int, dropout: float = 0.1
+    ) -> Tensor:
+        """Position-wise feed-forward block over [b*t, d]."""
+        model_dim = x.shape[-1]
+        y = self.dense(x, f"{name}_inner", hidden, relu=True)
+        y = self.dense(y, f"{name}_outer", model_dim, dropout=dropout)
+        return y
+
+    # ------------------------------------------------------------------
+    def softmax_loss(
+        self, logits: Tensor, name: str = "loss", labels: Optional[Tensor] = None
+    ) -> Tensor:
+        """Fused softmax cross-entropy against (possibly created) labels."""
+        if labels is None:
+            labels = self.placeholder(
+                f"{name}_labels", logits.shape[:-1], dtype="int32"
+            )
+        return self.op("CrossEntropyLoss", name, [logits, labels]).outputs[0]

@@ -1,0 +1,27 @@
+"""LeNet-5 (LeCun et al.) — the smallest Table 1/2 benchmark model."""
+
+from __future__ import annotations
+
+from ..graph import Graph, Tensor
+from .layers import LayerHelper
+
+
+def build_lenet(
+    graph: Graph,
+    prefix: str,
+    batch: int,
+    image_size: int = 32,
+    num_classes: int = 10,
+) -> Tensor:
+    """Classic LeNet-5: two conv/pool stages and three dense layers."""
+    net = LayerHelper(graph, prefix)
+    x = net.placeholder("images", (batch, image_size, image_size, 1))
+    y = net.conv(x, "conv1", ksize=5, out_channels=6, padding="SAME")
+    y = net.max_pool(y, "pool1", ksize=2)
+    y = net.conv(y, "conv2", ksize=5, out_channels=16, padding="VALID")
+    y = net.max_pool(y, "pool2", ksize=2)
+    y = net.flatten(y, "flatten")
+    y = net.dense(y, "fc3", 120, relu=True)
+    y = net.dense(y, "fc4", 84, relu=True)
+    logits = net.dense(y, "fc5", num_classes)
+    return net.softmax_loss(logits)

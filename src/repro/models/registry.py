@@ -1,0 +1,182 @@
+"""Model zoo registry: the nine benchmark models of Tables 1 and 2.
+
+Each model carries the paper's batch sizes (global batch for strong
+scaling, per-GPU batch for weak scaling) and comes in two presets:
+
+* ``"paper"`` — faithful layer counts and widths (ResNet-200,
+  24-layer BERT-large, ...).
+* ``"bench"`` — same architecture family with reduced depth so that the
+  pure-Python strategy search finishes in benchmark-friendly time.  The
+  reductions are structural only (fewer repeated blocks); spatial sizes,
+  channel progressions, and batch sizes stay faithful.  EXPERIMENTS.md
+  records which preset produced every reported number.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..graph import ModelBuilder
+from .alexnet import build_alexnet
+from .bert import build_bert, bert_large_params
+from .gnmt import build_gnmt
+from .inception import (
+    INCEPTION_BENCH_MODULES,
+    INCEPTION_V3_MODULES,
+    build_inception_v3,
+)
+from .lenet import build_lenet
+from .resnet import RESNET200_BLOCKS, RESNET_BENCH_BLOCKS, build_resnet
+from .rnnlm import build_rnnlm
+from .transformer import build_transformer
+from .vgg import build_vgg19
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One benchmark model with the paper's batch configuration."""
+
+    name: str
+    category: str           # "cnn" or "nmt"
+    global_batch: int       # Table 1 (strong scaling)
+    per_gpu_batch: int      # Table 2 (weak scaling)
+    builder: ModelBuilder
+    description: str = ""
+
+
+def _spec(name, category, batch, builder, description=""):
+    return ModelSpec(
+        name=name,
+        category=category,
+        global_batch=batch,
+        per_gpu_batch=batch,
+        builder=builder,
+        description=description,
+    )
+
+
+def _presets() -> Dict[str, Dict[str, ModelSpec]]:
+    paper = {
+        "inception_v3": _spec(
+            "inception_v3", "cnn", 64,
+            functools.partial(build_inception_v3, module_counts=INCEPTION_V3_MODULES),
+            "Inception-v3, full module stack",
+        ),
+        "vgg19": _spec("vgg19", "cnn", 64, build_vgg19, "VGG-19"),
+        "resnet200": _spec(
+            "resnet200", "cnn", 32,
+            functools.partial(build_resnet, depth_blocks=RESNET200_BLOCKS),
+            "ResNet-200 v2 bottlenecks (3,24,36,3)",
+        ),
+        "lenet": _spec("lenet", "cnn", 256, build_lenet, "LeNet-5"),
+        "alexnet": _spec("alexnet", "cnn", 256, build_alexnet, "AlexNet"),
+        "gnmt": _spec(
+            "gnmt", "nmt", 128,
+            functools.partial(build_gnmt, src_len=16, tgt_len=16),
+            "GNMT, 4-layer encoder/decoder",
+        ),
+        "rnnlm": _spec(
+            "rnnlm", "nmt", 64,
+            functools.partial(build_rnnlm, seq_len=35),
+            "2-layer LSTM language model, 35 steps",
+        ),
+        "transformer": _spec(
+            "transformer", "nmt", 4096,
+            functools.partial(
+                build_transformer, num_layers=6, model_dim=512, ffn_dim=2048,
+                seq_len=64,
+            ),
+            "Transformer, 6+6 layers (batch counts tokens)",
+        ),
+        "bert_large": _spec(
+            "bert_large", "nmt", 16,
+            functools.partial(build_bert, **bert_large_params()),
+            "BERT-large, 24 layers, hidden 1024, seq 64",
+        ),
+    }
+    bench = {
+        "inception_v3": _spec(
+            "inception_v3", "cnn", 64,
+            functools.partial(
+                build_inception_v3, module_counts=INCEPTION_BENCH_MODULES
+            ),
+            "Inception-v3, reduced module counts (2,2,1)",
+        ),
+        "vgg19": paper["vgg19"],
+        "resnet200": _spec(
+            "resnet200", "cnn", 32,
+            functools.partial(build_resnet, depth_blocks=RESNET_BENCH_BLOCKS),
+            "ResNet bottleneck stack reduced to (2,4,6,2)",
+        ),
+        "lenet": paper["lenet"],
+        "alexnet": paper["alexnet"],
+        "gnmt": _spec(
+            "gnmt", "nmt", 128,
+            functools.partial(build_gnmt, src_len=12, tgt_len=12),
+            "GNMT with 12-step sequences",
+        ),
+        "rnnlm": _spec(
+            "rnnlm", "nmt", 64,
+            functools.partial(build_rnnlm, seq_len=20),
+            "RNNLM with 20-step sequences",
+        ),
+        "transformer": _spec(
+            "transformer", "nmt", 4096,
+            functools.partial(
+                build_transformer, num_layers=2, model_dim=256, ffn_dim=1024,
+                seq_len=32,
+            ),
+            "Transformer reduced to 2+2 layers (batch counts tokens)",
+        ),
+        "bert_large": _spec(
+            "bert_large", "nmt", 16,
+            functools.partial(
+                build_bert, num_layers=4, model_dim=512, ffn_dim=2048,
+                num_heads=8, seq_len=64,
+            ),
+            "BERT encoder reduced to 4 layers, hidden 512",
+        ),
+    }
+    return {"paper": paper, "bench": bench}
+
+
+_PRESETS = _presets()
+
+#: Display order matching the paper's tables.
+MODEL_ORDER: List[str] = [
+    "inception_v3",
+    "vgg19",
+    "resnet200",
+    "lenet",
+    "alexnet",
+    "gnmt",
+    "rnnlm",
+    "transformer",
+    "bert_large",
+]
+
+
+def model_names() -> List[str]:
+    return list(MODEL_ORDER)
+
+
+def get_model(name: str, preset: str = "bench") -> ModelSpec:
+    """Look up a benchmark model by name and preset."""
+    try:
+        models = _PRESETS[preset]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {preset!r}; choose from {sorted(_PRESETS)}"
+        ) from None
+    try:
+        return models[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; choose from {MODEL_ORDER}"
+        ) from None
+
+
+def all_models(preset: str = "bench") -> List[ModelSpec]:
+    return [get_model(name, preset) for name in MODEL_ORDER]

@@ -1,0 +1,78 @@
+"""ResNet-v2 with bottleneck blocks (He et al.) — ResNet-200 in the paper.
+
+``depth_blocks`` selects the variant: ResNet-200 uses (3, 24, 36, 3)
+bottlenecks.  The benchmark preset shrinks the per-stage counts (keeping
+four stages and the bottleneck structure) so strategy search stays
+tractable in pure Python; the scaling is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..graph import Graph, Tensor
+from .layers import LayerHelper
+
+#: Bottleneck counts per stage.
+RESNET200_BLOCKS: Tuple[int, int, int, int] = (3, 24, 36, 3)
+RESNET50_BLOCKS: Tuple[int, int, int, int] = (3, 4, 6, 3)
+#: Reduced preset used by the benchmark harness.
+RESNET_BENCH_BLOCKS: Tuple[int, int, int, int] = (2, 4, 6, 2)
+
+_STAGE_CHANNELS = (64, 128, 256, 512)
+_EXPANSION = 4
+
+
+def _bottleneck(
+    net: LayerHelper, x: Tensor, name: str, channels: int, stride: int
+) -> Tensor:
+    """Pre-activation bottleneck: 1x1 -> 3x3 -> 1x1 with identity shortcut."""
+    out_channels = channels * _EXPANSION
+    shortcut = x
+    if x.shape[3] != out_channels or stride != 1:
+        shortcut = net.conv(
+            x, f"{name}_proj", ksize=1, out_channels=out_channels,
+            stride=stride, relu=False, batch_norm=True,
+        )
+    y = net.conv(x, f"{name}_a", ksize=1, out_channels=channels, batch_norm=True)
+    y = net.conv(
+        y, f"{name}_b", ksize=3, out_channels=channels, stride=stride,
+        batch_norm=True,
+    )
+    y = net.conv(
+        y, f"{name}_c", ksize=1, out_channels=out_channels, relu=False,
+        batch_norm=True,
+    )
+    y = net.residual_add(y, shortcut, f"{name}_add")
+    return net.op("Relu", f"{name}_out", [y]).outputs[0]
+
+
+def build_resnet(
+    graph: Graph,
+    prefix: str,
+    batch: int,
+    depth_blocks: Sequence[int] = RESNET200_BLOCKS,
+    image_size: int = 224,
+    num_classes: int = 1000,
+) -> Tensor:
+    """ResNet-v2 with bottleneck blocks; depth set by ``depth_blocks``."""
+    net = LayerHelper(graph, prefix)
+    y = net.placeholder("images", (batch, image_size, image_size, 3))
+    y = net.conv(y, "conv1", ksize=7, out_channels=64, stride=2, batch_norm=True)
+    y = net.max_pool(y, "pool1", ksize=3, stride=2, padding="SAME")
+    for stage, num_blocks in enumerate(depth_blocks):
+        channels = _STAGE_CHANNELS[stage]
+        for block in range(num_blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            y = _bottleneck(net, y, f"stage{stage + 1}_block{block + 1}", channels, stride)
+    # Global average pool over the remaining spatial extent.
+    y = net.avg_pool(y, "global_pool", ksize=y.shape[1], stride=y.shape[1])
+    y = net.flatten(y, "flatten")
+    logits = net.dense(y, "fc", num_classes)
+    return net.softmax_loss(logits)
+
+
+def build_resnet200(graph: Graph, prefix: str, batch: int, **kwargs) -> Tensor:
+    """ResNet-200: the paper's variant, bottleneck counts (3, 24, 36, 3)."""
+    kwargs.setdefault("depth_blocks", RESNET200_BLOCKS)
+    return build_resnet(graph, prefix, batch, **kwargs)

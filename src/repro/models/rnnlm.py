@@ -1,0 +1,52 @@
+"""RNNLM (Zaremba et al.): word-level LSTM language model.
+
+Embedding -> 2-layer unrolled LSTM -> shared output projection.  The
+paper finds no split candidates for LSTM models (Table 6, "None"): the
+fused cells are not partitionable and the projection carries large
+parameters, which FastT declines to split.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graph import Graph, Tensor
+from .layers import LayerHelper
+
+
+def sequence_steps(
+    net: LayerHelper, embedded: Tensor, name: str, batch: int, seq_len: int,
+    dim: int,
+) -> List[Tensor]:
+    """Slice a [batch, seq, dim] embedding into per-step [batch, dim]."""
+    split = net.op(
+        "SplitN", f"{name}_split", [embedded],
+        attrs={"axis": 1, "num_splits": seq_len},
+    )
+    return [
+        net.reshape(piece, f"{name}_step{t}", (batch, dim))
+        for t, piece in enumerate(split.outputs)
+    ]
+
+
+def build_rnnlm(
+    graph: Graph,
+    prefix: str,
+    batch: int,
+    seq_len: int = 20,
+    vocab_size: int = 10000,
+    hidden: int = 650,
+    num_layers: int = 2,
+) -> Tensor:
+    """RNNLM: embedding, unrolled multi-layer LSTM, shared projection."""
+    net = LayerHelper(graph, prefix)
+    ids = net.placeholder("tokens", (batch, seq_len), dtype="int32")
+    embedded = net.embedding(ids, "embed", vocab_size, hidden)
+    steps = sequence_steps(net, embedded, "input", batch, seq_len, hidden)
+    outputs = net.lstm_stack(steps, "lstm", hidden=hidden, num_layers=num_layers)
+    stacked = net.op(
+        "Concat", "stack_outputs", outputs, attrs={"axis": 0}
+    ).outputs[0]
+    logits = net.dense(stacked, "proj", vocab_size)
+    labels = net.placeholder("labels", (batch * seq_len,), dtype="int32")
+    return net.softmax_loss(logits, labels=labels)

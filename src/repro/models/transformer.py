@@ -1,0 +1,90 @@
+"""Transformer (Vaswani et al.): encoder-decoder with multi-head attention.
+
+The paper trains Transformer with a global batch of 4096 *samples*; here
+a "sample" is a token, so ``batch`` tokens become ``batch // seq_len``
+sentences (the harness documents this mapping).  MatMul dominates the
+critical path, making it the model whose MatMuls FastT splits (Table 6).
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, Tensor
+from .layers import LayerHelper
+
+
+def _encoder_layer(
+    net: LayerHelper, x: Tensor, name: str, batch: int, seq: int,
+    heads: int, dim: int, ffn: int,
+) -> Tensor:
+    attended = net.multi_head_attention(
+        x, x, f"{name}_self", batch, seq, seq, heads, dim
+    )
+    x = net.layer_norm(net.residual_add(x, attended, f"{name}_res1"), f"{name}_ln1")
+    forwarded = net.transformer_ffn(x, f"{name}_ffn", ffn)
+    return net.layer_norm(
+        net.residual_add(x, forwarded, f"{name}_res2"), f"{name}_ln2"
+    )
+
+
+def _decoder_layer(
+    net: LayerHelper, x: Tensor, memory: Tensor, name: str, batch: int,
+    tgt_len: int, src_len: int, heads: int, dim: int, ffn: int,
+) -> Tensor:
+    attended = net.multi_head_attention(
+        x, x, f"{name}_self", batch, tgt_len, tgt_len, heads, dim
+    )
+    x = net.layer_norm(net.residual_add(x, attended, f"{name}_res1"), f"{name}_ln1")
+    cross = net.multi_head_attention(
+        x, memory, f"{name}_cross", batch, tgt_len, src_len, heads, dim
+    )
+    x = net.layer_norm(net.residual_add(x, cross, f"{name}_res2"), f"{name}_ln2")
+    forwarded = net.transformer_ffn(x, f"{name}_ffn", ffn)
+    return net.layer_norm(
+        net.residual_add(x, forwarded, f"{name}_res3"), f"{name}_ln3"
+    )
+
+
+def _embed_sequence(
+    net: LayerHelper, name: str, batch: int, seq: int, vocab: int, dim: int
+) -> Tensor:
+    """Token + position embeddings, flattened to [batch*seq, dim]."""
+    ids = net.placeholder(f"{name}_tokens", (batch, seq), dtype="int32")
+    tokens = net.embedding(ids, f"{name}_embed", vocab, dim)
+    positions = net.placeholder(f"{name}_positions", (batch, seq), dtype="int32")
+    pos = net.embedding(positions, f"{name}_pos_embed", seq, dim)
+    summed = net.op("Add", f"{name}_embed_sum", [tokens, pos]).outputs[0]
+    return net.reshape(summed, f"{name}_embed_flat", (batch * seq, dim))
+
+
+def build_transformer(
+    graph: Graph,
+    prefix: str,
+    batch: int,
+    seq_len: int = 32,
+    vocab_size: int = 8000,
+    model_dim: int = 256,
+    ffn_dim: int = 1024,
+    num_heads: int = 8,
+    num_layers: int = 3,
+) -> Tensor:
+    """Encoder-decoder Transformer; ``batch`` counts tokens (see module doc)."""
+    sentences = max(batch // seq_len, 1)
+    net = LayerHelper(graph, prefix)
+
+    x = _embed_sequence(net, "src", sentences, seq_len, vocab_size, model_dim)
+    for layer in range(num_layers):
+        x = _encoder_layer(
+            net, x, f"enc{layer}", sentences, seq_len, num_heads, model_dim,
+            ffn_dim,
+        )
+
+    y = _embed_sequence(net, "tgt", sentences, seq_len, vocab_size, model_dim)
+    for layer in range(num_layers):
+        y = _decoder_layer(
+            net, y, x, f"dec{layer}", sentences, seq_len, seq_len, num_heads,
+            model_dim, ffn_dim,
+        )
+
+    logits = net.dense(y, "proj", vocab_size)
+    labels = net.placeholder("labels", (sentences * seq_len,), dtype="int32")
+    return net.softmax_loss(logits, labels=labels)

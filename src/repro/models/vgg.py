@@ -1,0 +1,41 @@
+"""VGG-19 (Simonyan & Zisserman): the paper's biggest strong-scaling win.
+
+16 convolutional layers in five blocks plus three dense layers.  Deep
+stacks of expensive 3x3 convolutions put ``Conv2D``/``Conv2Dbp`` on the
+critical path (Table 5), while the 100 MB+ fc6 weights are never split.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..graph import Graph, Tensor
+from .layers import LayerHelper
+
+#: (convs per block, output channels) for VGG-19.
+VGG19_BLOCKS = ((2, 64), (2, 128), (4, 256), (4, 512), (4, 512))
+
+
+def build_vgg19(
+    graph: Graph,
+    prefix: str,
+    batch: int,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    fc_units: int = 4096,
+    blocks: Sequence = VGG19_BLOCKS,
+) -> Tensor:
+    """VGG-19: five conv blocks plus three dense layers, softmax loss."""
+    net = LayerHelper(graph, prefix)
+    y = net.placeholder("images", (batch, image_size, image_size, 3))
+    for block_index, (convs, channels) in enumerate(blocks, start=1):
+        for conv_index in range(1, convs + 1):
+            y = net.conv(
+                y, f"conv{block_index}_{conv_index}", ksize=3, out_channels=channels
+            )
+        y = net.max_pool(y, f"pool{block_index}", ksize=2)
+    y = net.flatten(y, "flatten")
+    y = net.dense(y, "fc6", fc_units, relu=True, dropout=0.5)
+    y = net.dense(y, "fc7", fc_units, relu=True, dropout=0.5)
+    logits = net.dense(y, "fc8", num_classes)
+    return net.softmax_loss(logits)

@@ -1,0 +1,13 @@
+"""Profiling: step traces and cost-model measurement (RunMetadata analogue)."""
+
+from .profiler import ProfileResult, Profiler, update_cost_models
+from .trace import OpRecord, StepTrace, TransferRecord
+
+__all__ = [
+    "OpRecord",
+    "ProfileResult",
+    "Profiler",
+    "StepTrace",
+    "TransferRecord",
+    "update_cost_models",
+]

@@ -1,0 +1,87 @@
+"""Profiler: runs training steps and feeds traces into the cost models.
+
+This plays the role of FastT's extended TensorFlow tracer (Sec. 6.1,
+Cost Model): it executes a few iterations of the current strategy on the
+simulated testbed, then pushes per-op execution times into the
+computation cost model and per-transfer times into the communication
+regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
+
+from ..costmodel import CommunicationCostModel, ComputationCostModel
+from ..graph import Graph
+from .trace import StepTrace
+
+if TYPE_CHECKING:  # pragma: no cover - break the sim <-> profiling cycle
+    from ..sim import ExecutionSimulator
+
+
+def update_cost_models(
+    graph: Graph,
+    traces: Sequence[StepTrace],
+    computation: ComputationCostModel,
+    communication: CommunicationCostModel,
+) -> None:
+    """Ingest step traces into both cost models."""
+    op_index = {op.name: op for op in graph.ops}
+    for trace in traces:
+        for rec in trace.op_records:
+            op = op_index.get(rec.op_name)
+            bytes_accessed = op.bytes_accessed if op is not None else 0
+            computation.observe(
+                rec.op_name, rec.op_type, rec.device, rec.duration, bytes_accessed
+            )
+        for rec in trace.transfer_records:
+            communication.observe(
+                rec.src_device, rec.dst_device, rec.num_bytes, rec.duration
+            )
+
+
+@dataclass
+class ProfileResult:
+    """Traces plus the aggregate the strategy calculator decides on."""
+
+    traces: List[StepTrace]
+
+    @property
+    def mean_iteration_time(self) -> float:
+        if not self.traces:
+            return float("inf")
+        return sum(t.makespan for t in self.traces) / len(self.traces)
+
+
+class Profiler:
+    """Profiles a (placement, order) strategy over several iterations."""
+
+    def __init__(
+        self,
+        simulator: "ExecutionSimulator",
+        computation: ComputationCostModel,
+        communication: CommunicationCostModel,
+    ) -> None:
+        self.simulator = simulator
+        self.computation = computation
+        self.communication = communication
+
+    def profile(
+        self,
+        placement: Mapping[str, str],
+        order: Optional[Sequence[str]] = None,
+        policy: str = "fifo",
+        num_steps: int = 3,
+        update_models: bool = True,
+    ) -> ProfileResult:
+        """Run ``num_steps`` iterations; optionally update the cost models."""
+        traces = [
+            self.simulator.run_step(placement, order=order, policy=policy)
+            for _ in range(num_steps)
+        ]
+        if update_models:
+            update_cost_models(
+                self.simulator.graph, traces, self.computation, self.communication
+            )
+        return ProfileResult(traces=traces)

@@ -1,0 +1,91 @@
+"""Step traces: the reproduction's analogue of TensorFlow RunMetadata.
+
+Each simulated training iteration yields a :class:`StepTrace` of per-op
+execution records and per-tensor transfer records.  FastT's cost models
+are fitted *only* from these traces (Sec. 4, Cost Models), never from
+the ground-truth hardware model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One kernel execution."""
+
+    op_name: str
+    op_type: str
+    device: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One inter-device tensor copy."""
+
+    tensor_name: str
+    src_device: str
+    dst_device: str
+    num_bytes: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class StepTrace:
+    """All events of one simulated iteration plus summary statistics."""
+
+    op_records: List[OpRecord] = field(default_factory=list)
+    transfer_records: List[TransferRecord] = field(default_factory=list)
+    makespan: float = 0.0
+    peak_memory: Dict[str, int] = field(default_factory=dict)
+
+    def compute_time_by_device(self) -> Dict[str, float]:
+        """Total busy kernel time per device (Fig. 5's computation time)."""
+        busy: Dict[str, float] = {}
+        for rec in self.op_records:
+            busy[rec.device] = busy.get(rec.device, 0.0) + rec.duration
+        return busy
+
+    def memcpy_time_by_pair(self) -> Dict[Tuple[str, str], float]:
+        """Total transfer time per (src, dst) device pair."""
+        busy: Dict[Tuple[str, str], float] = {}
+        for rec in self.transfer_records:
+            key = (rec.src_device, rec.dst_device)
+            busy[key] = busy.get(key, 0.0) + rec.duration
+        return busy
+
+    @property
+    def total_compute_time(self) -> float:
+        """Sum of kernel durations across devices."""
+        return sum(rec.duration for rec in self.op_records)
+
+    @property
+    def total_memcpy_time(self) -> float:
+        """Sum of transfer durations across links."""
+        return sum(rec.duration for rec in self.transfer_records)
+
+    @property
+    def avg_compute_time(self) -> float:
+        """Mean per-device busy time over devices that ran anything."""
+        busy = self.compute_time_by_device()
+        return sum(busy.values()) / len(busy) if busy else 0.0
+
+    def ops_by_device(self) -> Dict[str, int]:
+        """Operation count per device (Fig. 4's placement histogram)."""
+        counts: Dict[str, int] = {}
+        for rec in self.op_records:
+            counts[rec.device] = counts.get(rec.device, 0) + 1
+        return counts

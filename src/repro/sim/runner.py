@@ -1,0 +1,291 @@
+"""Discrete-event simulation of one training iteration on a GPU cluster.
+
+This is the reproduction's *testbed*: given a training graph, a
+placement, and (optionally) an execution order, it plays out the step —
+per-device serial kernel execution, per-channel serialized tensor
+transfers, compute/communication overlap, ref-counted memory — and
+returns a :class:`~repro.profiling.trace.StepTrace`.
+
+Two scheduling policies mirror the paper's Fig. 2 comparison:
+
+* ``"fifo"`` — TensorFlow's default: the executor pops the ready queue
+  in arrival order.
+* ``"priority"`` — FastT's order enforcement: ready ops run in the order
+  the strategy calculator computed (Sec. 6.1, Order Enforcement).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..cluster import Topology
+from ..graph import Graph, Operation
+from ..hardware import PerfModel
+from ..profiling.trace import OpRecord, StepTrace, TransferRecord
+from .memory import MemoryTracker, SimulationOOMError
+
+FIFO = "fifo"
+PRIORITY = "priority"
+_INF = float("inf")
+
+
+class SimulationError(RuntimeError):
+    """Raised on inconsistent simulator inputs (bad placement, deadlock)."""
+
+
+@dataclass
+class _Transfer:
+    tensor_name: str
+    src: str
+    dst: str
+    num_bytes: int
+    consumers: int
+
+
+class ExecutionSimulator:
+    """Simulates single training iterations of a placed graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        topology: Topology,
+        perf_model: PerfModel,
+        enforce_memory: bool = True,
+    ) -> None:
+        graph.validate()
+        self.graph = graph
+        self.topology = topology
+        self.perf = perf_model
+        self.enforce_memory = enforce_memory
+
+    # ------------------------------------------------------------------
+    def run_step(
+        self,
+        placement: Mapping[str, str],
+        order: Optional[Sequence[str]] = None,
+        policy: str = FIFO,
+    ) -> StepTrace:
+        """Simulate one iteration and return its trace.
+
+        Args:
+            placement: op name -> device name, complete over the graph.
+            order: FastT's execution order list; required when ``policy``
+                is ``"priority"`` (ops absent from the list run last).
+            policy: ``"fifo"`` or ``"priority"``.
+
+        Raises:
+            SimulationError: incomplete placement or scheduling deadlock.
+            SimulationOOMError: a device ran out of memory (when
+                ``enforce_memory``).
+        """
+        if policy not in (FIFO, PRIORITY):
+            raise SimulationError(f"unknown scheduling policy {policy!r}")
+        state = _StepState(self, placement, order, policy)
+        return state.run()
+
+
+class _StepState:
+    """All mutable state of one simulated step."""
+
+    def __init__(
+        self,
+        sim: ExecutionSimulator,
+        placement: Mapping[str, str],
+        order: Optional[Sequence[str]],
+        policy: str,
+    ) -> None:
+        self.sim = sim
+        self.graph = sim.graph
+        self.policy = policy
+        self.device_names = sim.topology.device_names
+        dev_set = set(self.device_names)
+        self.placement: Dict[str, str] = {}
+        for op in self.graph.ops:
+            dev = placement.get(op.name)
+            if dev is None:
+                raise SimulationError(f"placement misses op {op.name!r}")
+            if dev not in dev_set:
+                raise SimulationError(
+                    f"op {op.name!r} placed on unknown device {dev!r}"
+                )
+            self.placement[op.name] = dev
+
+        self.priority: Dict[str, float] = {}
+        if order is not None:
+            self.priority = {name: i for i, name in enumerate(order)}
+        elif policy == PRIORITY:
+            raise SimulationError("priority policy requires an order list")
+
+        # Per-tensor consumer ops grouped by consuming device.
+        self.consumers_by_device: Dict[str, Dict[str, List[Operation]]] = {}
+        self.deps_remaining: Dict[str, int] = {}
+        for op in self.graph.ops:
+            distinct = {t.name: t for t in op.inputs}
+            self.deps_remaining[op.name] = len(distinct)
+            for t in distinct.values():
+                per_dev = self.consumers_by_device.setdefault(t.name, {})
+                per_dev.setdefault(self.placement[op.name], []).append(op)
+
+        self.available: Set[Tuple[str, str]] = set()  # (tensor, device)
+        self.memory = MemoryTracker(
+            capacities={d.name: d.memory_bytes for d in sim.topology.devices},
+            enforce=sim.enforce_memory,
+        )
+        self.ready: Dict[str, List[Tuple[float, float, int, Operation]]] = {
+            d: [] for d in self.device_names
+        }
+        self.device_busy: Dict[str, bool] = {d: False for d in self.device_names}
+        self.channel_busy: Dict[str, bool] = {}
+        self.channel_queue: Dict[str, List[_Transfer]] = {}
+        self.events: List[Tuple[float, int, str, object]] = []
+        self.seq = itertools.count()
+        self.trace = StepTrace()
+        self.completed = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> StepTrace:
+        for op in self.graph.ops:
+            if self.deps_remaining[op.name] == 0:
+                self._enqueue_ready(op, 0.0)
+        for dev in self.device_names:
+            self._dispatch_device(dev, 0.0)
+
+        makespan = 0.0
+        while self.events:
+            time, _, kind, payload = heapq.heappop(self.events)
+            makespan = max(makespan, time)
+            if kind == "op_finish":
+                self._on_op_finish(payload, time)  # type: ignore[arg-type]
+            else:
+                self._on_transfer_finish(payload, time)  # type: ignore[arg-type]
+
+        if self.completed != self.graph.num_ops:
+            stuck = [
+                name for name, n in self.deps_remaining.items() if n > 0
+            ][:10]
+            raise SimulationError(
+                f"deadlock: {self.graph.num_ops - self.completed} ops never "
+                f"ran (e.g. {stuck})"
+            )
+        self.trace.makespan = makespan
+        self.trace.peak_memory = dict(self.memory.peak)
+        self.trace.op_records.sort(key=lambda r: r.start)
+        self.trace.transfer_records.sort(key=lambda r: r.start)
+        return self.trace
+
+    # ------------------------------------------------------------------
+    def _enqueue_ready(self, op: Operation, time: float) -> None:
+        dev = self.placement[op.name]
+        if self.policy == PRIORITY:
+            key = self.priority.get(op.name, _INF)
+            heapq.heappush(self.ready[dev], (key, time, next(self.seq), op))
+        else:
+            heapq.heappush(self.ready[dev], (time, 0.0, next(self.seq), op))
+
+    def _dispatch_device(self, dev: str, time: float) -> None:
+        if self.device_busy[dev] or not self.ready[dev]:
+            return
+        _, _, _, op = heapq.heappop(self.ready[dev])
+        self.device_busy[dev] = True
+        self._allocate_outputs(op, dev)
+        duration = self.sim.perf.op_time(op, self.sim.topology.device(dev))
+        end = time + duration
+        self.trace.op_records.append(
+            OpRecord(op.name, op.op_type, dev, time, end)
+        )
+        heapq.heappush(self.events, (end, next(self.seq), "op_finish", op))
+
+    def _allocate_outputs(self, op: Operation, dev: str) -> None:
+        persistent = op.op_type == "Variable"
+        for t in op.outputs:
+            per_dev = self.consumers_by_device.get(t.name, {})
+            local = len(per_dev.get(dev, ()))
+            remote_devices = [d for d in per_dev if d != dev]
+            self.memory.allocate(
+                t.name,
+                dev,
+                t.size_bytes,
+                consumers=local + len(remote_devices),
+                persistent=persistent,
+            )
+
+    # ------------------------------------------------------------------
+    def _on_op_finish(self, op: Operation, time: float) -> None:
+        dev = self.placement[op.name]
+        self.device_busy[dev] = False
+        self.completed += 1
+        # Release this op's holds on its (local copies of) inputs.
+        for t_name in {t.name for t in op.inputs}:
+            self.memory.release(t_name, dev)
+        # Outputs become available locally and trigger remote transfers.
+        for t in op.outputs:
+            self._mark_available(t.name, dev, time)
+            per_dev = self.consumers_by_device.get(t.name, {})
+            for dst, ops in per_dev.items():
+                if dst == dev:
+                    continue
+                self._enqueue_transfer(
+                    _Transfer(t.name, dev, dst, t.size_bytes, len(ops)), time
+                )
+        self._dispatch_device(dev, time)
+
+    def _mark_available(self, tensor_name: str, dev: str, time: float) -> None:
+        key = (tensor_name, dev)
+        if key in self.available:
+            return
+        self.available.add(key)
+        for op in self.consumers_by_device.get(tensor_name, {}).get(dev, ()):
+            self.deps_remaining[op.name] -= 1
+            if self.deps_remaining[op.name] == 0:
+                self._enqueue_ready(op, time)
+        self._dispatch_device(dev, time)
+
+    # ------------------------------------------------------------------
+    def _enqueue_transfer(self, transfer: _Transfer, time: float) -> None:
+        channel = self.sim.topology.link(transfer.src, transfer.dst).shared_channel
+        if self.channel_busy.get(channel):
+            self.channel_queue.setdefault(channel, []).append(transfer)
+        else:
+            self._start_transfer(channel, transfer, time)
+
+    def _start_transfer(self, channel: str, transfer: _Transfer, time: float) -> None:
+        self.channel_busy[channel] = True
+        # The destination copy is allocated when the transfer begins, as
+        # receive buffers are pinned up front.
+        self.memory.allocate(
+            transfer.tensor_name,
+            transfer.dst,
+            transfer.num_bytes,
+            consumers=transfer.consumers,
+        )
+        duration = self.sim.perf.transfer_time(
+            transfer.src, transfer.dst, transfer.num_bytes
+        )
+        end = time + duration
+        self.trace.transfer_records.append(
+            TransferRecord(
+                transfer.tensor_name,
+                transfer.src,
+                transfer.dst,
+                transfer.num_bytes,
+                time,
+                end,
+            )
+        )
+        heapq.heappush(
+            self.events, (end, next(self.seq), "transfer_finish", (channel, transfer))
+        )
+
+    def _on_transfer_finish(self, payload: Tuple[str, _Transfer], time: float) -> None:
+        channel, transfer = payload
+        # The source copy drops the reference held for this transfer.
+        self.memory.release(transfer.tensor_name, transfer.src)
+        self._mark_available(transfer.tensor_name, transfer.dst, time)
+        queue = self.channel_queue.get(channel)
+        if queue:
+            self._start_transfer(channel, queue.pop(0), time)
+        else:
+            self.channel_busy[channel] = False

@@ -1,0 +1,147 @@
+"""Tests for the baseline strategies and search proxies."""
+
+import pytest
+
+from repro.baselines import (
+    FlexFlowConfig,
+    GDPConfig,
+    PlacementEvaluator,
+    PostConfig,
+    ReinforceConfig,
+    build_data_parallel_baseline,
+    data_parallel_strategy,
+    flexflow_search,
+    gdp_placement,
+    model_parallel_strategy,
+    post_placement,
+    reinforce_placement,
+    strong_scaling_batch,
+    weak_scaling_batch,
+)
+from repro.graph import build_single_device_training_graph
+from repro.hardware import PerfModel
+from repro.sim import ExecutionSimulator
+
+from tests.util import build_mlp
+
+
+class TestScalingHelpers:
+    def test_strong_scaling_keeps_global_batch(self):
+        assert strong_scaling_batch(64, 8) == 64
+
+    def test_weak_scaling_grows_with_devices(self):
+        assert weak_scaling_batch(64, 8) == 512
+
+
+class TestDataParallelBaseline:
+    def test_builds_and_places(self, topo4):
+        graph, info, strategy = build_data_parallel_baseline(
+            build_mlp, topo4, 64
+        )
+        assert info.num_replicas == 4
+        strategy.validate_against(graph)
+        assert strategy.label == "data-parallel"
+        assert set(strategy.placement.values()) == set(topo4.device_names)
+
+    def test_executable(self, topo2):
+        graph, _, strategy = build_data_parallel_baseline(build_mlp, topo2, 32)
+        trace = ExecutionSimulator(graph, topo2, PerfModel(topo2)).run_step(
+            strategy.placement
+        )
+        assert trace.makespan > 0
+
+
+class TestModelParallelBaseline:
+    def test_strategy_covers_graph(self, topo4):
+        graph = build_single_device_training_graph(build_mlp, 32)
+        strategy = model_parallel_strategy(graph, topo4)
+        strategy.validate_against(graph)
+        assert strategy.label == "model-parallel"
+
+
+class TestPlacementEvaluator:
+    def test_counts_evaluations(self, topo2):
+        graph = build_single_device_training_graph(build_mlp, 16)
+        evaluator = PlacementEvaluator(graph, topo2, PerfModel(topo2))
+        placement = {op.name: topo2.device_names[0] for op in graph.ops}
+        t1 = evaluator.evaluate(placement)
+        assert t1 > 0
+        assert evaluator.evaluations == 1
+
+    def test_oom_scores_infinite(self, topo2):
+        def huge(graph, prefix, batch):
+            return build_mlp(graph, prefix, batch, hidden=40960, layers=3)
+
+        graph = build_single_device_training_graph(huge, 1024)
+        evaluator = PlacementEvaluator(graph, topo2, PerfModel(topo2))
+        placement = {op.name: topo2.device_names[0] for op in graph.ops}
+        assert evaluator.evaluate(placement) == float("inf")
+
+
+@pytest.fixture
+def search_setup(topo2):
+    graph = build_single_device_training_graph(build_mlp, 32)
+    perf = PerfModel(topo2)
+    return graph, topo2, perf
+
+
+class TestSearchProxies:
+    def test_reinforce_returns_valid_strategy(self, search_setup):
+        graph, topo, perf = search_setup
+        strategy = reinforce_placement(
+            graph, topo, perf, ReinforceConfig(iterations=3, samples_per_iteration=3)
+        )
+        strategy.validate_against(graph)
+        assert strategy.label == "reinforce"
+        assert strategy.estimated_time is not None
+
+    def test_gdp_prior_biases_stages(self, search_setup):
+        graph, topo, perf = search_setup
+        strategy = gdp_placement(
+            graph, topo, perf, GDPConfig(iterations=0, samples_per_iteration=0)
+        )
+        # With zero search budget the prior alone decides: contiguous
+        # topological halves.
+        order = graph.topological_order()
+        first_device = strategy.placement[order[0].name]
+        last_device = strategy.placement[order[-1].name]
+        assert first_device != last_device
+
+    def test_post_returns_valid_strategy(self, search_setup):
+        graph, topo, perf = search_setup
+        strategy = post_placement(
+            graph, topo, perf, PostConfig(iterations=3, samples_per_iteration=4)
+        )
+        strategy.validate_against(graph)
+        assert strategy.estimated_time < float("inf")
+
+    def test_search_improves_over_first_sample(self, search_setup):
+        graph, topo, perf = search_setup
+        short = post_placement(
+            graph, topo, perf, PostConfig(iterations=1, samples_per_iteration=2, seed=3)
+        )
+        long = post_placement(
+            graph, topo, perf, PostConfig(iterations=8, samples_per_iteration=8, seed=3)
+        )
+        assert long.estimated_time <= short.estimated_time
+
+    def test_flexflow_returns_graph_matching_strategy(self, search_setup):
+        graph, topo, perf = search_setup
+        strategy, searched_graph = flexflow_search(
+            graph, topo, perf, FlexFlowConfig(iterations=15, seed=2)
+        )
+        strategy.validate_against(searched_graph)
+        # Split list and graph must be consistent.
+        for decision in strategy.split_list:
+            assert decision.op_name not in searched_graph
+        assert strategy.estimated_time < float("inf")
+
+    def test_flexflow_strategy_executable(self, search_setup):
+        graph, topo, perf = search_setup
+        strategy, searched_graph = flexflow_search(
+            graph, topo, perf, FlexFlowConfig(iterations=25, seed=5)
+        )
+        trace = ExecutionSimulator(searched_graph, topo, perf).run_step(
+            strategy.placement
+        )
+        assert trace.makespan > 0

@@ -1,0 +1,96 @@
+"""Tests for the GPipe-style pipeline extension."""
+
+import pytest
+
+from repro.baselines import build_pipeline_strategy
+from repro.baselines.pipeline import forward_stage_map
+from repro.cluster import single_server
+from repro.experiments import measure_strategy
+from repro.hardware import PerfModel
+
+from tests.util import build_mlp
+
+
+def heavy_mlp(graph, prefix, batch):
+    return build_mlp(graph, prefix, batch, hidden=2048, layers=8)
+
+
+@pytest.fixture
+def topo():
+    return single_server(4)
+
+
+class TestForwardStageMap:
+    def test_stages_contiguous_and_cover_devices(self, topo):
+        stages = forward_stage_map(heavy_mlp, topo, 64)
+        assert set(stages.values()) == {0, 1, 2, 3}
+
+    def test_variables_follow_their_consumers(self, topo):
+        stages = forward_stage_map(heavy_mlp, topo, 64)
+        # The last layer's weight must sit on a late stage, not stage 0.
+        assert stages["w7"] == stages["fc7"]
+        assert stages["w7"] > stages["w0"]
+
+    def test_monotone_along_the_chain(self, topo):
+        stages = forward_stage_map(heavy_mlp, topo, 64)
+        layer_stages = [stages[f"fc{i}"] for i in range(8)]
+        assert layer_stages == sorted(layer_stages)
+
+
+class TestPipelineStrategy:
+    def test_strategy_covers_graph(self, topo):
+        graph, strategy = build_pipeline_strategy(heavy_mlp, topo, 256, 4)
+        strategy.validate_against(graph)
+        assert strategy.label == "pipeline-4"
+
+    def test_forward_and_backward_share_a_stage(self, topo):
+        graph, strategy = build_pipeline_strategy(heavy_mlp, topo, 256, 2)
+        placement = strategy.placement
+        # fc5's gradient matmuls must run where fc5 runs.
+        fwd_dev = placement["replica_0/fc5"]
+        grads = [
+            n for n in placement
+            if n.startswith("replica_0/fc5_grad")
+        ]
+        assert grads, "fc5 gradient ops missing"
+        assert all(placement[n] == fwd_dev for n in grads)
+
+    def test_shared_variables_single_copy(self, topo):
+        graph, _ = build_pipeline_strategy(heavy_mlp, topo, 256, 4)
+        variables = [op for op in graph.ops if op.op_type == "Variable"]
+        assert all(v.name.startswith("replica_0/") for v in variables)
+
+    def test_invalid_microbatch_counts(self, topo):
+        with pytest.raises(ValueError):
+            build_pipeline_strategy(heavy_mlp, topo, 256, 0)
+        with pytest.raises(ValueError):
+            build_pipeline_strategy(heavy_mlp, topo, 2, 4)
+
+    def test_single_microbatch_is_plain_model_parallelism(self, topo):
+        graph, strategy = build_pipeline_strategy(heavy_mlp, topo, 256, 1)
+        assert len(set(strategy.placement.values())) == len(topo.devices)
+
+
+class TestPipelineSpeedup:
+    def test_more_microbatches_shrink_the_bubble(self, topo):
+        """The GPipe property: iteration time decreases monotonically (up
+        to noise) as micro-batches increase, because stage s+1 of
+        micro-batch m overlaps stage s of micro-batch m+1."""
+        perf = PerfModel(topo)
+        times = {}
+        for m in (1, 2, 4):
+            graph, strategy = build_pipeline_strategy(
+                heavy_mlp, topo, 512, m, name=f"pipe{m}"
+            )
+            trace = measure_strategy(graph, strategy, topo, perf, steps=1)[0]
+            times[m] = trace.makespan
+        assert times[2] < times[1]
+        assert times[4] < times[2]
+
+    def test_pipeline_beats_serial_stages_substantially(self, topo):
+        perf = PerfModel(topo)
+        graph1, s1 = build_pipeline_strategy(heavy_mlp, topo, 512, 1, name="p1")
+        graph8, s8 = build_pipeline_strategy(heavy_mlp, topo, 512, 8, name="p8")
+        serial = measure_strategy(graph1, s1, topo, perf, 1)[0].makespan
+        piped = measure_strategy(graph8, s8, topo, perf, 1)[0].makespan
+        assert piped < serial * 0.75

@@ -1,0 +1,108 @@
+"""Tests for devices, topology, links, and presets."""
+
+import pytest
+
+from repro.cluster import (
+    ETHERNET,
+    GiB,
+    NVLINK,
+    Topology,
+    V100,
+    cluster_for,
+    make_devices,
+    single_server,
+    two_servers,
+)
+
+
+class TestDeviceSpecs:
+    def test_v100_capacity(self):
+        assert V100.memory_bytes == 16 * GiB
+
+    def test_device_naming_and_indexing(self):
+        devices = make_devices([2, 2])
+        assert [d.name for d in devices] == [
+            "/server:0/gpu:0", "/server:0/gpu:1",
+            "/server:1/gpu:0", "/server:1/gpu:1",
+        ]
+        assert [d.index for d in devices] == [0, 1, 2, 3]
+        assert [d.server for d in devices] == [0, 0, 1, 1]
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            make_devices([])
+
+
+class TestTopology:
+    def test_duplicate_names_rejected(self):
+        devices = make_devices([1]) * 2
+        with pytest.raises(ValueError, match="unique"):
+            Topology(devices)
+
+    def test_unknown_device_lookup(self, topo2):
+        with pytest.raises(KeyError):
+            topo2.device("/server:9/gpu:9")
+
+    def test_intra_server_link_is_nvlink(self, topo2):
+        link = topo2.link("/server:0/gpu:0", "/server:0/gpu:1")
+        assert link.name == "nvlink"
+        assert link.bandwidth == NVLINK[1]
+
+    def test_inter_server_link_is_ethernet(self, topo2x2):
+        link = topo2x2.link("/server:0/gpu:0", "/server:1/gpu:0")
+        assert link.name == "ethernet"
+        assert link.bandwidth == ETHERNET[1]
+
+    def test_local_link_is_free(self, topo2):
+        dev = topo2.device_names[0]
+        assert topo2.transfer_time(dev, dev, 10 ** 9) == 0.0
+
+    def test_egress_channel_shared_per_source(self, topo4):
+        src = topo4.device_names[0]
+        channels = {
+            topo4.link(src, dst).shared_channel
+            for dst in topo4.device_names[1:]
+        }
+        assert len(channels) == 1, "all egress from one GPU shares its channel"
+
+    def test_nic_channel_shared_per_server_pair(self, topo2x2):
+        channels = {
+            topo2x2.link(src, dst).shared_channel
+            for src in topo2x2.device_names[:2]
+            for dst in topo2x2.device_names[2:]
+        }
+        assert len(channels) == 1, "cross-server traffic shares the NIC"
+
+    def test_transfer_time_linear_in_bytes(self, topo2):
+        a, b = topo2.device_names
+        t1 = topo2.transfer_time(a, b, 10 ** 6)
+        t2 = topo2.transfer_time(a, b, 2 * 10 ** 6)
+        latency = topo2.link(a, b).latency
+        assert t2 - t1 == pytest.approx(t1 - latency, rel=1e-9)
+
+    def test_zero_bytes_free(self, topo2):
+        a, b = topo2.device_names
+        assert topo2.transfer_time(a, b, 0) == 0.0
+
+
+class TestPresets:
+    def test_single_server_counts(self):
+        assert len(single_server(8).devices) == 8
+        assert single_server(8).num_servers == 1
+
+    def test_two_servers_counts(self):
+        topo = two_servers(4)
+        assert len(topo.devices) == 8
+        assert topo.num_servers == 2
+
+    def test_cluster_for_dispatch(self):
+        assert cluster_for(4, 1).num_servers == 1
+        assert cluster_for(8, 2).num_servers == 2
+
+    def test_cluster_for_odd_split_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_for(7, 2)
+
+    def test_cluster_for_three_servers_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_for(12, 3)

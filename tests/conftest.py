@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite (factories live in tests.util)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import single_server, two_servers
+from repro.hardware import PerfModel
+
+@pytest.fixture
+def topo2():
+    return single_server(2)
+
+
+@pytest.fixture
+def topo4():
+    return single_server(4)
+
+
+@pytest.fixture
+def topo2x2():
+    return two_servers(2)
+
+
+@pytest.fixture
+def perf2(topo2):
+    return PerfModel(topo2)
+
+
+@pytest.fixture
+def perf4(topo4):
+    return PerfModel(topo4)

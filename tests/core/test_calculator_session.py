@@ -1,0 +1,150 @@
+"""Integration tests for the strategy calculator workflow and FastTSession."""
+
+import pytest
+
+from repro.cluster import single_server
+from repro.core import (
+    FastTConfig,
+    FastTSession,
+    Strategy,
+    StrategyCalculator,
+    fits_on_single_device,
+)
+from repro.graph import (
+    build_data_parallel_training_graph,
+    build_single_device_training_graph,
+    data_parallel_placement,
+)
+from repro.hardware import PerfModel
+
+from tests.util import build_mlp
+
+
+def big_mlp(graph, prefix, batch):
+    """An MLP too large for one 16 GB GPU (forces the model-parallel path)."""
+    return build_mlp(graph, prefix, batch, hidden=32768, layers=3)
+
+
+@pytest.fixture
+def quick_config():
+    return FastTConfig(
+        profiling_steps=1, max_rounds=3, min_rounds=1, max_candidate_ops=2,
+        measure_steps=2,
+    )
+
+
+class TestFitsOnSingleDevice:
+    def test_small_model_fits(self, topo2):
+        graph = build_single_device_training_graph(build_mlp, 16)
+        assert fits_on_single_device(graph, topo2)
+
+    def test_large_model_does_not_fit(self, topo2):
+        graph = build_single_device_training_graph(big_mlp, 4096)
+        assert not fits_on_single_device(graph, topo2)
+
+
+class TestInputGraphSelection:
+    def test_small_model_gets_dp_input(self, topo4):
+        session = FastTSession(build_mlp, topo4, 64)
+        assert session.initial_strategy.label == "data-parallel"
+        assert any(op.name.startswith("replica_3/") for op in session.input_graph.ops)
+
+    def test_large_model_gets_model_parallel_input(self, topo2):
+        session = FastTSession(big_mlp, topo2, 4096)
+        assert session.initial_strategy.label == "model-parallel"
+        assert len(set(session.initial_strategy.placement.values())) == 2
+
+    def test_single_gpu_trivial(self):
+        topo = single_server(1)
+        session = FastTSession(build_mlp, topo, 32)
+        assert session.initial_strategy.label == "single-gpu"
+        assert set(session.initial_strategy.placement.values()) == {
+            topo.device_names[0]
+        }
+
+
+class TestCalculatorWorkflow:
+    def _calculator(self, topo, config):
+        graph, _ = build_data_parallel_training_graph(build_mlp, 2, 64)
+        strategy = Strategy(
+            placement=data_parallel_placement(graph, topo.device_names),
+            label="data-parallel",
+        )
+        perf = PerfModel(topo, noise_sigma=0.01, seed=2)
+        return StrategyCalculator(graph, strategy, topo, perf, config=config)
+
+    def test_report_has_rounds_and_measurement(self, topo2, quick_config):
+        report = self._calculator(topo2, quick_config).run()
+        assert report.rounds
+        assert report.measured_time > 0
+        assert report.initial_measured_time > 0
+        assert report.strategy.placement
+
+    def test_final_never_worse_than_initial(self, topo2, quick_config):
+        """The rollback rule: FastT keeps whatever measured fastest."""
+        report = self._calculator(topo2, quick_config).run()
+        assert report.measured_time <= report.initial_measured_time * 1.10
+
+    def test_cost_models_populated(self, topo2, quick_config):
+        calculator = self._calculator(topo2, quick_config)
+        calculator.run()
+        assert calculator.computation.num_entries > 0
+        assert calculator.communication.num_pairs > 0
+
+    def test_search_time_accounted(self, topo2, quick_config):
+        report = self._calculator(topo2, quick_config).run()
+        assert report.algorithm_seconds > 0
+        assert report.total_search_seconds >= report.algorithm_seconds
+
+    def test_splitting_disabled_produces_no_splits(self, topo2):
+        config = FastTConfig(
+            profiling_steps=1, max_rounds=2, min_rounds=1,
+            enable_splitting=False, measure_steps=1,
+        )
+        report = self._calculator(topo2, config).run()
+        assert report.strategy.split_list == []
+
+
+class TestSessionEndToEnd:
+    def test_optimize_and_run(self, topo2, quick_config):
+        session = FastTSession(
+            build_mlp, topo2, 64,
+            perf_model=PerfModel(topo2, noise_sigma=0.01, seed=8),
+            config=quick_config,
+        )
+        report = session.optimize()
+        assert session.strategy is report.strategy
+        traces = session.run(num_steps=2)
+        assert len(traces) == 2
+        assert all(t.makespan > 0 for t in traces)
+
+    def test_training_speed_consistent(self, topo2, quick_config):
+        session = FastTSession(
+            build_mlp, topo2, 64,
+            perf_model=PerfModel(topo2, noise_sigma=0.01, seed=8),
+            config=quick_config,
+        )
+        assert session.training_speed() == pytest.approx(
+            64 / session.iteration_time()
+        )
+
+    def test_optimize_cached_until_forced(self, topo2, quick_config):
+        session = FastTSession(
+            build_mlp, topo2, 64,
+            perf_model=PerfModel(topo2, noise_sigma=0.01, seed=8),
+            config=quick_config,
+        )
+        first = session.optimize()
+        assert session.optimize() is first
+        assert session.optimize(force=True) is not first
+
+    def test_large_model_session_spreads_memory(self, topo2, quick_config):
+        """Table 3's mechanism: a model that OOMs on one GPU trains on two."""
+        session = FastTSession(
+            big_mlp, topo2, 4096,
+            perf_model=PerfModel(topo2, noise_sigma=0.01, seed=8),
+            config=quick_config,
+        )
+        report = session.optimize()
+        assert report.measured_time > 0
+        assert len(set(report.strategy.placement.values())) == 2

@@ -1,0 +1,165 @@
+"""Property test for Theorem 1: omega_DPOS <= 2 * omega_opt + C_max.
+
+``omega_opt`` is the optimal makespan in an ideal system *without*
+communication cost; ``C_max`` is the maximal total transmission time
+along any chain.  For small random DAGs we compute ``omega_opt`` exactly
+by exhaustive search over active schedules, then check DPOS's estimated
+finish time against the bound.
+"""
+
+import itertools
+from typing import Dict, List
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import single_server
+from repro.core import DPOS
+from repro.graph import Graph
+
+
+class DictComp:
+    def __init__(self, times):
+        self.times = times
+
+    def time(self, op, device):
+        return self.times[op.name]
+
+    def max_time(self, op, devices):
+        return self.times[op.name]
+
+
+class EdgeComm:
+    def __init__(self, byte_time):
+        self.byte_time = byte_time
+
+    def time(self, src, dst, num_bytes):
+        return 0.0 if src == dst else num_bytes * self.byte_time
+
+    def max_time(self, num_bytes, pairs):
+        return num_bytes * self.byte_time if pairs else 0.0
+
+
+def optimal_makespan_no_comm(graph: Graph, times: Dict[str, float],
+                             num_devices: int) -> float:
+    """Exact optimum on identical devices, zero communication.
+
+    Branch-and-bound over event-driven schedules: at each state, try
+    assigning every ready op to the earliest-free device.
+    """
+    ops = graph.topological_order()
+    preds = {op.name: [p.name for p in graph.predecessors(op)] for op in ops}
+    best = [float("inf")]
+
+    def search(finish: Dict[str, float], devices: List[float]) -> None:
+        if len(finish) == len(ops):
+            best[0] = min(best[0], max(finish.values(), default=0.0))
+            return
+        current = max(devices) if finish else 0.0
+        if min(devices) >= best[0]:
+            return
+        ready = [
+            op.name
+            for op in ops
+            if op.name not in finish
+            and all(p in finish for p in preds[op.name])
+        ]
+        for name in ready:
+            earliest = max(finish[p] for p in preds[name]) if preds[name] else 0.0
+            for d in range(len(devices)):
+                start = max(devices[d], earliest)
+                if start + times[name] >= best[0]:
+                    continue
+                new_devices = list(devices)
+                new_devices[d] = start + times[name]
+                finish[name] = start + times[name]
+                search(finish, new_devices)
+                del finish[name]
+
+    search({}, [0.0] * num_devices)
+    return best[0]
+
+
+def max_chain_comm(graph: Graph, comm: EdgeComm) -> float:
+    """C_max: maximal total transmission time along any chain."""
+    totals: Dict[str, float] = {}
+    for op in reversed(graph.topological_order()):
+        successors = graph.successors(op)
+        if not successors:
+            totals[op.name] = 0.0
+            continue
+        totals[op.name] = max(
+            comm.time("x", "y", graph.edge_bytes(op, succ)) + totals[succ.name]
+            for succ in successors
+        )
+    return max(totals.values(), default=0.0)
+
+
+def random_layered_dag(rng_draw, max_layers=3, max_width=2) -> Graph:
+    g = Graph("rand")
+    layers = rng_draw(st.integers(1, max_layers), label="layers")
+    previous = []
+    counter = 0
+    for layer in range(layers):
+        width = rng_draw(st.integers(1, max_width), label=f"width{layer}")
+        current = []
+        for _ in range(width):
+            if previous:
+                num_inputs = rng_draw(
+                    st.integers(1, len(previous)), label=f"fanin{counter}"
+                )
+                inputs = [op.outputs[0] for op in previous[:num_inputs]]
+            else:
+                inputs = []
+            current.append(
+                g.create_op(
+                    "Generic", f"n{counter}", inputs,
+                    attrs={"output_shapes": [(16,)]},
+                )
+            )
+            counter += 1
+        previous = current
+    return g
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_theorem1_bound_holds(data):
+    graph = random_layered_dag(data.draw)
+    times = {
+        op.name: data.draw(
+            st.floats(0.1, 10.0, allow_nan=False), label=f"w_{op.name}"
+        )
+        for op in graph.ops
+    }
+    byte_time = data.draw(st.floats(0.0, 0.05), label="byte_time")
+    num_devices = data.draw(st.integers(1, 3), label="devices")
+
+    topo = single_server(num_devices)
+    comp = DictComp(times)
+    comm = EdgeComm(byte_time)
+    result = DPOS(topo, comp, comm).run(graph)
+
+    opt = optimal_makespan_no_comm(graph, times, num_devices)
+    c_max = max_chain_comm(graph, comm)
+    bound = 2 * opt + c_max
+    assert result.finish_time <= bound + 1e-9, (
+        f"DPOS {result.finish_time:.3f} exceeds 2*{opt:.3f} + {c_max:.3f}"
+    )
+
+
+def test_bound_tight_case_single_device():
+    """On one device the schedule is exactly the serial sum <= bound."""
+    g = Graph("serial")
+    prev = None
+    times = {}
+    for i in range(4):
+        inputs = [prev.outputs[0]] if prev else []
+        prev = g.create_op(
+            "Generic", f"n{i}", inputs, attrs={"output_shapes": [(4,)]}
+        )
+        times[f"n{i}"] = 1.0
+    topo = single_server(1)
+    result = DPOS(topo, DictComp(times), EdgeComm(0.0)).run(g)
+    assert result.finish_time == pytest.approx(4.0)
+    assert optimal_makespan_no_comm(g, times, 1) == pytest.approx(4.0)

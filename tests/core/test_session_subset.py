@@ -1,0 +1,77 @@
+"""Tests for FastT's device-subset capability (Sec. 5.2 note).
+
+"FastT may not use all the input devices, and can choose a subset which
+achieves better performance than using all" — realized here through the
+alternative-input mechanism: the single-model DAG competes with the
+data-parallel replication in every strategy round.
+"""
+
+import pytest
+
+from repro.cluster import single_server
+from repro.core import FastTConfig, FastTSession
+from repro.graph import Graph
+from repro.hardware import PerfModel
+
+from tests.util import build_mlp
+
+
+def latency_bound_model(graph: Graph, prefix: str, batch: int):
+    """A deep narrow chain: DP replication only adds sync overhead."""
+    return build_mlp(graph, prefix, batch, hidden=32, layers=24)
+
+
+class TestAlternativeInputs:
+    def test_session_registers_single_graph_alternative(self, topo4):
+        session = FastTSession(build_mlp, topo4, 64)
+        assert session.initial_strategy.label == "data-parallel"
+        assert len(session.alternative_inputs) == 1
+        alt_graph, alt_strategy = session.alternative_inputs[0]
+        assert alt_strategy.label == "single"
+        assert not any(
+            op.name.startswith("replica_1/") for op in alt_graph.ops
+        )
+
+    def test_latency_bound_model_may_use_fewer_devices(self, topo4):
+        session = FastTSession(
+            latency_bound_model, topo4, 16,
+            perf_model=PerfModel(topo4, noise_sigma=0.01, seed=6),
+            config=FastTConfig(
+                profiling_steps=1, max_rounds=3, min_rounds=1,
+                max_candidate_ops=2, measure_steps=2,
+            ),
+        )
+        report = session.optimize()
+        # Whatever it picked, the result must not be slower than the DP
+        # start; for this model the single-graph deployment is available
+        # and DPOS may legitimately choose a device subset.
+        assert report.measured_time <= report.initial_measured_time * 1.10
+        assert 1 <= len(report.strategy.devices_used()) <= 4
+
+    def test_no_alternative_for_single_gpu(self):
+        topo = single_server(1)
+        session = FastTSession(build_mlp, topo, 32)
+        assert session.alternative_inputs == []
+
+    def test_measured_alternative_can_win_outright(self, topo4):
+        """When replication only adds overhead, the profiled single-graph
+        deployment's measured time wins and FastT uses one device."""
+
+        def tiny_deep(graph, prefix, batch):
+            # Deep + narrow: per-tower batches starve GPU utilization.
+            return build_mlp(graph, prefix, batch, hidden=16, layers=30)
+
+        session = FastTSession(
+            tiny_deep, topo4, 8,
+            perf_model=PerfModel(topo4, noise_sigma=0.01, seed=11),
+            config=FastTConfig(
+                profiling_steps=1, max_rounds=2, min_rounds=1,
+                max_candidate_ops=1, measure_steps=2,
+            ),
+        )
+        report = session.optimize()
+        dp_time = report.initial_measured_time
+        # FastT must beat plain DP here — by subsetting devices or by a
+        # better full-cluster schedule; both outcomes are legitimate.
+        assert report.measured_time <= dp_time
+        assert 1 <= len(report.strategy.devices_used()) <= 4

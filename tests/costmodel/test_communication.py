@@ -1,0 +1,108 @@
+"""Tests for the per-pair linear-regression communication model."""
+
+import pytest
+
+from repro.costmodel import CommunicationCostModel
+
+
+def _feed_linear(model, src, dst, slope, intercept, sizes):
+    for size in sizes:
+        model.observe(src, dst, size, slope * size + intercept)
+
+
+class TestRegression:
+    def test_recovers_slope_and_intercept(self):
+        model = CommunicationCostModel()
+        _feed_linear(model, "a", "b", 1e-9, 5e-6, [1000, 2000, 5000, 10000])
+        slope, intercept = model.pair_parameters("a", "b")
+        assert slope == pytest.approx(1e-9, rel=1e-6)
+        assert intercept == pytest.approx(5e-6, rel=1e-6)
+
+    def test_prediction_linear(self):
+        model = CommunicationCostModel()
+        _feed_linear(model, "a", "b", 2e-9, 0.0, [1000, 4000])
+        assert model.time("a", "b", 2000) == pytest.approx(4e-6, rel=1e-6)
+
+    def test_single_sample_rate_model(self):
+        model = CommunicationCostModel()
+        model.observe("a", "b", 1000, 1e-6)
+        assert model.time("a", "b", 3000) == pytest.approx(3e-6)
+
+    def test_refit_on_new_data(self):
+        model = CommunicationCostModel()
+        _feed_linear(model, "a", "b", 1e-9, 0.0, [1000, 2000])
+        first = model.time("a", "b", 1000)
+        # The link got slower; new samples must change the fit.
+        _feed_linear(model, "a", "b", 5e-9, 0.0, [1000, 2000] * 20)
+        assert model.time("a", "b", 1000) > first
+
+    def test_negative_slope_degenerates_to_rate(self):
+        model = CommunicationCostModel()
+        model.observe("a", "b", 1000, 9e-6)
+        model.observe("a", "b", 2000, 1e-6)  # nonsense: bigger is faster
+        slope, intercept = model.pair_parameters("a", "b")
+        assert slope > 0.0
+        assert intercept == 0.0
+
+    def test_prediction_never_negative(self):
+        model = CommunicationCostModel()
+        _feed_linear(model, "a", "b", 1e-9, 1e-5, [10000, 20000])
+        assert model.time("a", "b", 1) >= 0.0
+
+
+class TestLocality:
+    def test_local_transfer_free(self):
+        model = CommunicationCostModel()
+        model.observe("a", "a", 1000, 1.0)  # ignored
+        assert model.time("a", "a", 10 ** 9) == 0.0
+        assert not model.known("a", "a")
+
+    def test_zero_bytes_free(self):
+        model = CommunicationCostModel()
+        _feed_linear(model, "a", "b", 1e-9, 1e-5, [1000])
+        assert model.time("a", "b", 0) == 0.0
+
+
+class TestFallbacks:
+    def test_unknown_pair_without_data_explores(self):
+        assert CommunicationCostModel().time("a", "b", 1000) == 0.0
+
+    def test_class_fallback(self):
+        model = CommunicationCostModel(
+            pair_class=lambda s, d: "intra" if s[0] == d[0] else "inter"
+        )
+        _feed_linear(model, "a0", "a1", 1e-9, 0.0, [1000, 2000])
+        # "a0"->"a2" is unprofiled but same class as a0->a1.
+        assert model.time("a0", "a2", 1000) == pytest.approx(1e-6, rel=1e-3)
+
+    def test_global_fallback_without_classes(self):
+        model = CommunicationCostModel()
+        _feed_linear(model, "a", "b", 1e-9, 0.0, [1000, 2000])
+        assert model.time("x", "y", 1000) == pytest.approx(1e-6, rel=1e-3)
+
+    def test_direct_beats_class(self):
+        model = CommunicationCostModel(pair_class=lambda s, d: "all")
+        _feed_linear(model, "a", "b", 1e-9, 0.0, [1000, 2000])
+        _feed_linear(model, "c", "d", 9e-9, 0.0, [1000, 2000])
+        # a->b has its own samples; must not be polluted by c->d's class data.
+        assert model.time("a", "b", 1000) == pytest.approx(1e-6, rel=1e-3)
+
+
+class TestMaxTime:
+    def test_max_over_pairs(self):
+        model = CommunicationCostModel()
+        _feed_linear(model, "a", "b", 1e-9, 0.0, [1000, 2000])
+        _feed_linear(model, "b", "a", 5e-9, 0.0, [1000, 2000])
+        result = model.max_time(1000, [("a", "b"), ("b", "a")])
+        assert result == pytest.approx(5e-6, rel=1e-3)
+
+    def test_empty_pairs(self):
+        assert CommunicationCostModel().max_time(1000, []) == 0.0
+
+
+class TestSlidingWindow:
+    def test_samples_bounded(self):
+        model = CommunicationCostModel(max_samples_per_pair=10)
+        for i in range(100):
+            model.observe("a", "b", 1000 + i, 1e-6)
+        assert len(model._samples[("a", "b")]) == 10

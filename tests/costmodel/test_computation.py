@@ -1,0 +1,107 @@
+"""Tests for the computation cost model's lookup tiers."""
+
+import pytest
+
+from repro.costmodel import ComputationCostModel
+from repro.graph import Graph
+
+
+@pytest.fixture
+def conv_op():
+    g = Graph("g")
+    x = g.create_op("Placeholder", "x", attrs={"shape": (4, 8, 8, 3)}).outputs[0]
+    w = g.create_op("Variable", "w", attrs={"shape": (3, 3, 3, 8)}).outputs[0]
+    return g.create_op("Conv2D", "conv", [x, w])
+
+
+class TestDirectLookup:
+    def test_unknown_is_zero(self, conv_op):
+        model = ComputationCostModel()
+        assert model.time(conv_op, "gpu0") == 0.0
+        assert not model.known("conv", "gpu0")
+
+    def test_observed_mean(self, conv_op):
+        model = ComputationCostModel()
+        model.observe("conv", "Conv2D", "gpu0", 0.010)
+        model.observe("conv", "Conv2D", "gpu0", 0.020)
+        assert model.time(conv_op, "gpu0") == pytest.approx(0.015)
+        assert model.known("conv", "gpu0")
+
+    def test_max_time_over_devices(self, conv_op):
+        model = ComputationCostModel(homogeneous_fallback=False)
+        model.observe("conv", "Conv2D", "gpu0", 0.010)
+        model.observe("conv", "Conv2D", "gpu1", 0.030)
+        assert model.max_time(conv_op, ["gpu0", "gpu1", "gpu2"]) == pytest.approx(0.030)
+
+    def test_num_entries(self):
+        model = ComputationCostModel()
+        model.observe("a", "Relu", "gpu0", 0.1)
+        model.observe("a", "Relu", "gpu1", 0.1)
+        model.observe("b", "Relu", "gpu0", 0.1)
+        assert model.num_entries == 3
+
+
+class TestHomogeneousFallback:
+    def test_falls_back_to_per_name_mean(self, conv_op):
+        model = ComputationCostModel(homogeneous_fallback=True)
+        model.observe("conv", "Conv2D", "gpu0", 0.010)
+        assert model.time(conv_op, "gpu7") == pytest.approx(0.010)
+
+    def test_disabled_fallback_explores(self, conv_op):
+        model = ComputationCostModel(homogeneous_fallback=False)
+        model.observe("conv", "Conv2D", "gpu0", 0.010)
+        assert model.time(conv_op, "gpu7") == 0.0
+
+
+class TestSplitParentEstimate:
+    def test_sub_op_estimated_from_parent(self):
+        g = Graph("g")
+        x = g.create_op("Placeholder", "x", attrs={"shape": (8, 8, 8, 3)}).outputs[0]
+        w = g.create_op("Variable", "w", attrs={"shape": (3, 3, 3, 8)}).outputs[0]
+        sub = g.create_op(
+            "Conv2D", "conv/part0", [x, w],
+            attrs={"split_parent": "conv", "split_fraction": 0.25},
+        )
+        model = ComputationCostModel()
+        model.observe("conv", "Conv2D", "gpu0", 0.040)
+        assert model.time(sub, "gpu0") == pytest.approx(0.010)
+
+    def test_unprofiled_parent_is_explore(self):
+        g = Graph("g")
+        x = g.create_op("Placeholder", "x", attrs={"shape": (8, 8, 8, 3)}).outputs[0]
+        w = g.create_op("Variable", "w", attrs={"shape": (3, 3, 3, 8)}).outputs[0]
+        sub = g.create_op(
+            "Conv2D", "conv/part0", [x, w],
+            attrs={"split_parent": "conv", "split_fraction": 0.25},
+        )
+        assert ComputationCostModel().time(sub, "gpu0") == 0.0
+
+
+class TestBandwidthProxy:
+    def test_glue_op_estimated_from_observed_traffic(self):
+        g = Graph("g")
+        x = g.create_op("Placeholder", "x", attrs={"shape": (1000,)}).outputs[0]
+        relu = g.create_op("Relu", "observed", [x])
+        split = g.create_op(
+            "SplitN", "fresh_split", [x], attrs={"axis": 0, "num_splits": 2}
+        )
+        model = ComputationCostModel()
+        # Observed: 8000 bytes of traffic in 8 us -> 1 ns/byte.
+        model.observe(
+            "observed", "Relu", "gpu0", 8e-6, bytes_accessed=relu.bytes_accessed
+        )
+        estimate = model.time(split, "gpu0")
+        assert estimate == pytest.approx(split.bytes_accessed * 1e-9, rel=1e-6)
+
+    def test_compute_op_never_uses_proxy(self, conv_op):
+        model = ComputationCostModel()
+        model.observe("some_relu", "Relu", "gpu0", 1e-5, bytes_accessed=1000)
+        assert model.time(conv_op, "gpu0") == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_contains_means(self):
+        model = ComputationCostModel()
+        model.observe("a", "Relu", "gpu0", 0.2)
+        model.observe("a", "Relu", "gpu0", 0.4)
+        assert model.snapshot()[("a", "gpu0")] == pytest.approx(0.3)

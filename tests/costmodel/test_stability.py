@@ -1,0 +1,44 @@
+"""Tests for the pre-training stability monitor."""
+
+import pytest
+
+from repro.costmodel import StabilityMonitor
+
+
+class TestStabilityMonitor:
+    def test_first_snapshot_never_stable(self):
+        monitor = StabilityMonitor(tolerance=0.1)
+        assert not monitor.update({("a", "d0"): 1.0})
+
+    def test_stable_when_within_tolerance(self):
+        monitor = StabilityMonitor(tolerance=0.1)
+        monitor.update({("a", "d0"): 1.00})
+        assert monitor.update({("a", "d0"): 1.05})
+        assert monitor.last_drift == pytest.approx(0.05)
+
+    def test_unstable_when_drifting(self):
+        monitor = StabilityMonitor(tolerance=0.05)
+        monitor.update({("a", "d0"): 1.0})
+        assert not monitor.update({("a", "d0"): 1.2})
+
+    def test_new_keys_reset_stability(self):
+        monitor = StabilityMonitor(tolerance=0.5)
+        monitor.update({("a", "d0"): 1.0})
+        assert not monitor.update({("a", "d0"): 1.0, ("b", "d0"): 2.0}), (
+            "new (op, device) keys mean the model is still exploring"
+        )
+
+    def test_worst_key_drives_drift(self):
+        monitor = StabilityMonitor(tolerance=0.10)
+        monitor.update({("a", "d0"): 1.0, ("b", "d0"): 1.0})
+        assert not monitor.update({("a", "d0"): 1.01, ("b", "d0"): 1.5})
+        assert monitor.last_drift == pytest.approx(0.5)
+
+    def test_empty_snapshot_not_stable(self):
+        monitor = StabilityMonitor()
+        monitor.update({})
+        assert not monitor.update({})
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            StabilityMonitor(tolerance=0.0)

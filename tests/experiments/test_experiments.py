@@ -1,0 +1,122 @@
+"""Tests for the experiment harness, caching, and reporting."""
+
+import math
+import os
+
+import pytest
+
+from repro.experiments import (
+    TrialResult,
+    cached_trial,
+    run_data_parallel_trial,
+    run_fastt_trial,
+)
+from repro.experiments.paper_reference import (
+    TABLE1_STRONG_SCALING,
+    TABLE2_WEAK_SCALING,
+    TABLE4_STRATEGY_TIME,
+    TABLE6_SPLIT_ABLATION,
+)
+from repro.experiments.reporting import (
+    format_table,
+    markdown_table,
+    speedup_percent,
+)
+from repro.models import MODEL_ORDER, get_model
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2.5], ["xx", None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "OOM" in lines[3]
+
+    def test_title_included(self):
+        text = format_table(["h"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_nan_rendered_as_dash(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_markdown_table(self):
+        text = markdown_table(["a", "b"], [[1, None]])
+        assert text.splitlines()[0] == "| a | b |"
+        assert "| 1 | OOM |" in text
+
+    def test_speedup_percent(self):
+        assert speedup_percent(150.0, 100.0) == pytest.approx(50.0)
+        assert math.isnan(speedup_percent(150.0, 0.0))
+
+
+class TestPaperReference:
+    def test_tables_cover_all_models(self):
+        for table in (
+            TABLE1_STRONG_SCALING,
+            TABLE2_WEAK_SCALING,
+            TABLE4_STRATEGY_TIME,
+            TABLE6_SPLIT_ABLATION,
+        ):
+            assert set(table) == set(MODEL_ORDER)
+
+    def test_table1_row_lengths(self):
+        for _, speeds, _ in TABLE1_STRONG_SCALING.values():
+            assert len(speeds) == 9
+
+    def test_vgg_is_the_headline_speedup(self):
+        speedups = {m: s for m, (_, _, s) in TABLE1_STRONG_SCALING.items()}
+        assert max(speedups, key=speedups.get) == "vgg19"
+        assert speedups["vgg19"] == 59.4
+
+
+class TestTrialCache:
+    def test_cached_trial_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        calls = []
+
+        def make():
+            calls.append(1)
+            return TrialResult(
+                model="m", method="dp", num_gpus=2, num_servers=1,
+                global_batch=8, iteration_time=0.5, speed=16.0,
+                ops_per_device={"d0": 3},
+            )
+
+        key = {"unit": "test"}
+        first = cached_trial(key, make)
+        second = cached_trial(key, make)
+        assert len(calls) == 1, "second call must come from the cache"
+        assert second.speed == first.speed
+        assert second.ops_per_device == {"d0": 3}
+
+    def test_distinct_keys_not_shared(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        a = cached_trial({"k": 1}, lambda: TrialResult(
+            model="a", method="dp", num_gpus=1, num_servers=1, global_batch=1,
+        ))
+        b = cached_trial({"k": 2}, lambda: TrialResult(
+            model="b", method="dp", num_gpus=1, num_servers=1, global_batch=1,
+        ))
+        assert a.model == "a" and b.model == "b"
+
+
+class TestTrialRunners:
+    def test_dp_trial_on_lenet(self):
+        result = run_data_parallel_trial(get_model("lenet"), 2, 1, 64)
+        assert not result.oom
+        assert result.speed > 0
+        assert result.method == "dp"
+        assert sum(result.ops_per_device.values()) > 0
+
+    def test_fastt_trial_on_lenet(self):
+        result = run_fastt_trial(get_model("lenet"), 2, 1, 64)
+        assert not result.oom
+        assert result.speed > 0
+        assert result.search_seconds > 0
+        assert result.extra.get("strategy_label")
+
+    def test_fastt_close_to_or_better_than_dp(self):
+        dp = run_data_parallel_trial(get_model("lenet"), 2, 1, 64)
+        fastt = run_fastt_trial(get_model("lenet"), 2, 1, 64)
+        assert fastt.speed >= dp.speed * 0.9

@@ -1,0 +1,172 @@
+"""Unit tests for the Graph container and its invariants."""
+
+import pytest
+
+from repro.graph import Graph, GraphError, UnknownOpTypeError
+
+from tests.util import chain_graph, diamond_graph
+
+
+@pytest.fixture
+def simple():
+    g = Graph("simple")
+    a = g.create_op("Placeholder", "a", attrs={"shape": (4, 4)})
+    b = g.create_op("Relu", "b", [a.outputs[0]])
+    g.create_op("Relu", "c", [b.outputs[0]])
+    return g
+
+
+class TestCreateOp:
+    def test_outputs_created(self, simple):
+        op = simple.get_op("a")
+        assert [t.name for t in op.outputs] == ["a:0"]
+        assert op.outputs[0].producer is op
+
+    def test_duplicate_name_rejected(self, simple):
+        with pytest.raises(GraphError, match="duplicate"):
+            simple.create_op("Placeholder", "a", attrs={"shape": (1,)})
+
+    def test_unknown_type_rejected(self, simple):
+        with pytest.raises(UnknownOpTypeError):
+            simple.create_op("NoSuchOp", "x")
+
+    def test_foreign_tensor_rejected(self):
+        g1, g2 = Graph("g1"), Graph("g2")
+        t = g1.create_op("Placeholder", "p", attrs={"shape": (2,)}).outputs[0]
+        with pytest.raises(GraphError, match="not in graph"):
+            g2.create_op("Relu", "r", [t])
+
+    def test_len_and_contains(self, simple):
+        assert len(simple) == 3
+        assert "a" in simple and "zzz" not in simple
+
+    def test_unique_name(self, simple):
+        assert simple.unique_name("fresh") == "fresh"
+        name = simple.unique_name("a")
+        assert name != "a" and name not in simple
+
+
+class TestLookup:
+    def test_get_op_missing(self, simple):
+        with pytest.raises(GraphError, match="no op named"):
+            simple.get_op("missing")
+
+    def test_get_tensor(self, simple):
+        assert simple.get_tensor("b:0").producer.name == "b"
+
+    def test_get_tensor_missing(self, simple):
+        with pytest.raises(GraphError, match="no tensor"):
+            simple.get_tensor("nope:0")
+
+    def test_consumers(self, simple):
+        consumers = simple.consumers(simple.get_tensor("a:0"))
+        assert [(op.name, idx) for op, idx in consumers] == [("b", 0)]
+
+    def test_predecessors_and_successors(self):
+        g = diamond_graph()
+        assert {o.name for o in g.predecessors(g.get_op("d"))} == {"b", "c"}
+        assert {o.name for o in g.successors(g.get_op("a"))} == {"b", "c"}
+
+    def test_predecessors_deduplicated(self):
+        g = Graph("dup")
+        a = g.create_op("Placeholder", "a", attrs={"shape": (2, 2)})
+        add = g.create_op("Add", "s", [a.outputs[0], a.outputs[0]])
+        assert [o.name for o in g.predecessors(add)] == ["a"]
+
+    def test_entry_and_exit_ops(self):
+        g = diamond_graph()
+        assert [o.name for o in g.entry_ops()] == ["a"]
+        assert [o.name for o in g.exit_ops()] == ["d"]
+
+    def test_edge_bytes(self):
+        g = diamond_graph(shape=(4, 4))
+        # float32 4x4 tensors: 64 bytes per edge.
+        assert g.edge_bytes(g.get_op("a"), g.get_op("b")) == 64
+        assert g.edge_bytes(g.get_op("b"), g.get_op("c")) == 0
+
+
+class TestTopologicalOrder:
+    def test_respects_dependencies(self):
+        g = diamond_graph()
+        order = [op.name for op in g.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_validate_passes_for_well_formed(self, simple):
+        simple.validate()
+
+    def test_chain_order(self):
+        g = chain_graph(6)
+        names = [op.name for op in g.topological_order()]
+        assert names == [f"op{i}" for i in range(6)]
+
+
+class TestMutation:
+    def test_replace_input_rewires_consumers(self, simple):
+        g = simple
+        a2 = g.create_op("Placeholder", "a2", attrs={"shape": (4, 4)})
+        b = g.get_op("b")
+        g.replace_input(b, 0, a2.outputs[0])
+        assert b.inputs[0].name == "a2:0"
+        assert g.consumers(g.get_tensor("a:0")) == []
+        g.validate()
+
+    def test_replace_input_foreign_tensor(self, simple):
+        other = Graph("other")
+        t = other.create_op("Placeholder", "p", attrs={"shape": (4, 4)}).outputs[0]
+        with pytest.raises(GraphError):
+            simple.replace_input(simple.get_op("b"), 0, t)
+
+    def test_remove_op(self, simple):
+        c = simple.get_op("c")
+        simple.remove_op(c)
+        assert "c" not in simple
+        assert simple.consumers(simple.get_tensor("b:0")) == []
+        simple.validate()
+
+    def test_remove_op_with_consumers_rejected(self, simple):
+        with pytest.raises(GraphError, match="still has"):
+            simple.remove_op(simple.get_op("b"))
+
+    def test_copy_is_deep(self):
+        g = diamond_graph()
+        clone = g.copy("clone")
+        assert clone.num_ops == g.num_ops
+        assert clone.get_op("a") is not g.get_op("a")
+        clone.remove_op(clone.get_op("d"))
+        assert "d" in g, "mutating the copy must not affect the original"
+
+    def test_copy_preserves_attrs_and_colocation(self):
+        g = Graph("g")
+        g.create_op(
+            "Generic", "x", attrs={"output_shapes": [(2,)], "flops": 3.0},
+            colocation_group="grp",
+        )
+        clone = g.copy()
+        assert clone.get_op("x").attrs["flops"] == 3.0
+        assert clone.get_op("x").colocation_group == "grp"
+
+
+class TestColocation:
+    def test_groups_collected(self):
+        g = Graph("g")
+        g.create_op("Generic", "v1", attrs={"output_shapes": [(1,)]},
+                    colocation_group="g1")
+        g.create_op("Generic", "v2", attrs={"output_shapes": [(1,)]},
+                    colocation_group="g1")
+        g.create_op("Generic", "other", attrs={"output_shapes": [(1,)]})
+        groups = g.colocation_groups()
+        assert set(groups) == {"g1"}
+        assert [op.name for op in groups["g1"]] == ["v1", "v2"]
+
+
+class TestAggregates:
+    def test_total_flops(self):
+        g = diamond_graph(flops=(1.0, 2.0, 3.0, 4.0))
+        assert g.total_flops() == 10.0
+
+    def test_total_param_bytes(self):
+        g = Graph("g")
+        g.create_op("Variable", "w", attrs={"shape": (10,)})
+        g.create_op("Placeholder", "x", attrs={"shape": (10,)})
+        assert g.total_param_bytes() == 40

@@ -1,0 +1,208 @@
+"""Per-op gradient construction tests: each spec's build_grad contract."""
+
+import pytest
+
+from repro.graph import Graph, NotDifferentiableError, get_spec
+
+
+@pytest.fixture
+def g():
+    return Graph("grads")
+
+
+def _ph(g, name, shape, dtype="float32"):
+    return g.create_op(
+        "Placeholder", name, attrs={"shape": shape, "dtype": dtype}
+    ).outputs[0]
+
+
+def _grads(g, op):
+    seeds = [
+        g.create_op(
+            "Const", g.unique_name(f"seed{i}"), attrs={"shape": t.shape}
+        ).outputs[0]
+        for i, t in enumerate(op.outputs)
+    ]
+    return op.spec.build_grad(g, op, seeds)
+
+
+class TestElementwiseGrads:
+    def test_identity_passes_through(self, g):
+        x = _ph(g, "x", (3,))
+        op = g.create_op("Identity", "id", [x])
+        (grad,) = _grads(g, op)
+        assert grad.shape == (3,)
+
+    @pytest.mark.parametrize("kind,grad_kind", [
+        ("Relu", "ReluGrad"), ("Tanh", "TanhGrad"), ("Sigmoid", "SigmoidGrad"),
+    ])
+    def test_activation_grads(self, g, kind, grad_kind):
+        x = _ph(g, "x", (4, 5))
+        op = g.create_op(kind, "act", [x])
+        (grad,) = _grads(g, op)
+        assert grad.producer.op_type == grad_kind
+        assert grad.shape == (4, 5)
+
+    def test_add_fans_out(self, g):
+        a, b = _ph(g, "a", (2,)), _ph(g, "b", (2,))
+        op = g.create_op("Add", "s", [a, b])
+        ga, gb = _grads(g, op)
+        assert ga is gb, "Add's gradient is the upstream gradient for both"
+
+    def test_mul_cross_terms(self, g):
+        a, b = _ph(g, "a", (2,)), _ph(g, "b", (2,))
+        op = g.create_op("Mul", "m", [a, b])
+        ga, gb = _grads(g, op)
+        assert {t.name for t in ga.producer.inputs} >= {b.name}
+        assert {t.name for t in gb.producer.inputs} >= {a.name}
+
+    def test_dropout_grad_is_elementwise(self, g):
+        x = _ph(g, "x", (6,))
+        op = g.create_op("Dropout", "d", [x], attrs={"rate": 0.3})
+        (grad,) = _grads(g, op)
+        assert grad.producer.op_type == "DropoutGrad"
+
+
+class TestStructuralGrads:
+    def test_reshape_grad_restores_shape(self, g):
+        x = _ph(g, "x", (2, 6))
+        op = g.create_op("Reshape", "r", [x], attrs={"shape": (3, 4)})
+        (grad,) = _grads(g, op)
+        assert grad.shape == (2, 6)
+
+    def test_transpose_grad_uses_inverse_perm(self, g):
+        x = _ph(g, "x", (2, 3, 4))
+        op = g.create_op("Transpose", "t", [x], attrs={"perm": (1, 2, 0)})
+        (grad,) = _grads(g, op)
+        assert grad.shape == (2, 3, 4)
+        assert tuple(grad.producer.attrs["perm"]) == (2, 0, 1)
+
+    def test_concat_grad_splits_back(self, g):
+        a, b = _ph(g, "a", (2, 3)), _ph(g, "b", (2, 5))
+        op = g.create_op("Concat", "c", [a, b], attrs={"axis": 1})
+        ga, gb = _grads(g, op)
+        assert ga.shape == (2, 3) and gb.shape == (2, 5)
+        assert ga.producer.op_type == "SplitN"
+
+    def test_splitn_grad_concats_back(self, g):
+        x = _ph(g, "x", (6, 2))
+        op = g.create_op("SplitN", "s", [x], attrs={"axis": 0, "num_splits": 3})
+        (grad,) = _grads(g, op)
+        assert grad.shape == (6, 2)
+        assert grad.producer.op_type == "Concat"
+
+    def test_addn_replicates_gradient(self, g):
+        xs = [_ph(g, f"x{i}", (3,)) for i in range(4)]
+        op = g.create_op("AddN", "acc", xs)
+        grads = _grads(g, op)
+        assert len(grads) == 4
+        assert len({t.name for t in grads}) == 1
+
+
+class TestMatMulGrads:
+    @pytest.mark.parametrize("ta,tb", [
+        (False, False), (False, True), (True, False), (True, True),
+    ])
+    def test_all_transpose_combinations(self, g, ta, tb):
+        a_shape = (8, 4) if ta else (4, 8)
+        b_shape = (6, 8) if tb else (8, 6)
+        a, b = _ph(g, "a", a_shape), _ph(g, "b", b_shape)
+        op = g.create_op(
+            "MatMul", "mm", [a, b],
+            attrs={"transpose_a": ta, "transpose_b": tb},
+        )
+        ga, gb = _grads(g, op)
+        assert ga.shape == a_shape
+        assert gb.shape == b_shape
+
+    def test_batched_lhs_weight_rhs_reduces(self, g):
+        a, b = _ph(g, "a", (5, 4, 8)), _ph(g, "b", (8, 6))
+        op = g.create_op("MatMul", "mm", [a, b])
+        ga, gb = _grads(g, op)
+        assert ga.shape == (5, 4, 8)
+        assert gb.shape == (8, 6)
+        assert gb.producer.op_type == "ReduceSum"
+
+
+class TestNNGrads:
+    def test_conv_emits_two_backprops(self, g):
+        x = _ph(g, "x", (2, 8, 8, 3))
+        w = _ph(g, "w", (3, 3, 3, 4))
+        op = g.create_op("Conv2D", "c", [x, w])
+        gx, gw = _grads(g, op)
+        assert gx.producer.op_type == "Conv2DBackpropInput"
+        assert gw.producer.op_type == "Conv2DBackpropFilter"
+        assert gx.shape == (2, 8, 8, 3)
+        assert gw.shape == (3, 3, 3, 4)
+
+    def test_pool_grads(self, g):
+        x = _ph(g, "x", (2, 8, 8, 3))
+        mp = g.create_op("MaxPool", "mp", [x], attrs={"ksize": 2})
+        (gmp,) = _grads(g, mp)
+        assert gmp.shape == (2, 8, 8, 3)
+        ap = g.create_op("AvgPool", "ap", [x], attrs={"ksize": 2})
+        (gap,) = _grads(g, ap)
+        assert gap.shape == (2, 8, 8, 3)
+
+    def test_batchnorm_three_grads(self, g):
+        x = _ph(g, "x", (2, 4, 4, 8))
+        gamma, beta = _ph(g, "gm", (8,)), _ph(g, "bt", (8,))
+        op = g.create_op("BatchNorm", "bn", [x, gamma, beta])
+        gx, ggamma, gbeta = _grads(g, op)
+        assert gx.shape == x.shape
+        assert ggamma.shape == (8,) and gbeta.shape == (8,)
+
+    def test_biasadd_grads(self, g):
+        x, b = _ph(g, "x", (4, 8)), _ph(g, "b", (8,))
+        op = g.create_op("BiasAdd", "ba", [x, b])
+        gx, gb = _grads(g, op)
+        assert gx.shape == (4, 8)
+        assert gb.shape == (8,)
+        assert gb.producer.op_type == "BiasAddGrad"
+
+    def test_softmax_grad(self, g):
+        x = _ph(g, "x", (4, 7))
+        op = g.create_op("Softmax", "sm", [x])
+        (grad,) = _grads(g, op)
+        assert grad.producer.op_type == "SoftmaxGrad"
+
+    def test_embedding_grad_dense_table(self, g):
+        table = _ph(g, "t", (50, 8))
+        ids = _ph(g, "ids", (3, 4), dtype="int32")
+        op = g.create_op("Embedding", "e", [table, ids])
+        gtable, gids = _grads(g, op)
+        assert gtable.shape == (50, 8)
+        assert gids is None, "integer ids get no gradient"
+
+    def test_lstm_cell_full_grads(self, g):
+        x = _ph(g, "x", (4, 10))
+        h, c = _ph(g, "h", (4, 16)), _ph(g, "c", (4, 16))
+        w = _ph(g, "w", (26, 64))
+        b = _ph(g, "b", (64,))
+        op = g.create_op("LSTMCell", "cell", [x, h, c, w, b])
+        grads = _grads(g, op)
+        assert [t.shape for t in grads] == [
+            (4, 10), (4, 16), (4, 16), (26, 64), (64,),
+        ]
+
+    def test_cross_entropy_grad_only_for_logits(self, g):
+        logits = _ph(g, "l", (4, 9))
+        labels = _ph(g, "y", (4,), dtype="int32")
+        op = g.create_op("CrossEntropyLoss", "loss", [logits, labels])
+        glogits, glabels = _grads(g, op)
+        assert glogits.shape == (4, 9)
+        assert glabels is None
+
+
+class TestNonDifferentiable:
+    def test_apply_gradient_has_no_grad(self, g):
+        var = g.create_op("Variable", "w", attrs={"shape": (4,)}).outputs[0]
+        grad = _ph(g, "g1", (4,))
+        op = g.create_op("ApplyGradient", "apply", [var, grad])
+        with pytest.raises(NotDifferentiableError):
+            _grads(g, op)
+
+    def test_generic_has_no_grad(self, g):
+        op = g.create_op("Generic", "gen", attrs={"output_shapes": [(2,)]})
+        with pytest.raises(NotDifferentiableError):
+            _grads(g, op)

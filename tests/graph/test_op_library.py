@@ -1,0 +1,354 @@
+"""Unit tests for the concrete op specs: shapes, FLOPs, split specs."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph import Graph, ShapeError, get_spec, registered_types, split_sizes
+
+
+@pytest.fixture
+def g():
+    return Graph("ops")
+
+
+def _ph(g, name, shape, dtype="float32"):
+    return g.create_op(
+        "Placeholder", name, attrs={"shape": shape, "dtype": dtype}
+    ).outputs[0]
+
+
+class TestSplitSizes:
+    def test_even(self):
+        assert split_sizes(8, 4) == [2, 2, 2, 2]
+
+    def test_uneven_distributes_remainder_first(self):
+        assert split_sizes(10, 4) == [3, 3, 2, 2]
+
+    def test_too_many_pieces(self):
+        with pytest.raises(ShapeError):
+            split_sizes(3, 4)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            split_sizes(4, 0)
+
+    @given(st.integers(1, 500), st.integers(1, 32))
+    def test_partition_property(self, total, n):
+        if total < n:
+            with pytest.raises(ShapeError):
+                split_sizes(total, n)
+            return
+        sizes = split_sizes(total, n)
+        assert sum(sizes) == total
+        assert len(sizes) == n
+        assert all(s > 0 for s in sizes)
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestConv2D:
+    def test_same_padding_shape(self, g):
+        x = _ph(g, "x", (8, 32, 32, 3))
+        w = g.create_op("Variable", "w", attrs={"shape": (3, 3, 3, 16)}).outputs[0]
+        conv = g.create_op("Conv2D", "c", [x, w], attrs={"stride": 1, "padding": "SAME"})
+        assert conv.outputs[0].shape == (8, 32, 32, 16)
+
+    def test_valid_padding_shape(self, g):
+        x = _ph(g, "x", (8, 32, 32, 3))
+        w = g.create_op("Variable", "w", attrs={"shape": (5, 5, 3, 16)}).outputs[0]
+        conv = g.create_op("Conv2D", "c", [x, w], attrs={"stride": 1, "padding": "VALID"})
+        assert conv.outputs[0].shape == (8, 28, 28, 16)
+
+    def test_strided_same(self, g):
+        x = _ph(g, "x", (8, 33, 33, 3))
+        w = g.create_op("Variable", "w", attrs={"shape": (3, 3, 3, 4)}).outputs[0]
+        conv = g.create_op("Conv2D", "c", [x, w], attrs={"stride": 2, "padding": "SAME"})
+        assert conv.outputs[0].shape == (8, 17, 17, 4)
+
+    def test_channel_mismatch(self, g):
+        x = _ph(g, "x", (8, 32, 32, 3))
+        w = g.create_op("Variable", "w", attrs={"shape": (3, 3, 5, 16)}).outputs[0]
+        with pytest.raises(ShapeError, match="channels"):
+            g.create_op("Conv2D", "c", [x, w])
+
+    def test_flops_formula(self, g):
+        x = _ph(g, "x", (2, 8, 8, 3))
+        w = g.create_op("Variable", "w", attrs={"shape": (3, 3, 3, 4)}).outputs[0]
+        conv = g.create_op("Conv2D", "c", [x, w], attrs={"stride": 1, "padding": "SAME"})
+        expected = 2 * (2 * 8 * 8 * 4) * 3 * 3 * 3
+        assert conv.flops == expected
+
+    def test_split_dims(self, g):
+        x = _ph(g, "x", (8, 8, 8, 3))
+        w = g.create_op("Variable", "w", attrs={"shape": (3, 3, 3, 4)}).outputs[0]
+        conv = g.create_op("Conv2D", "c", [x, w])
+        dims = conv.split_dims
+        assert set(dims) == {"batch", "channel"}
+        assert dims["batch"].input_axes == {0: 0, 1: None}
+        assert dims["channel"].input_axes == {0: None, 1: 3}
+        assert dims["channel"].output_axes == {0: 3}
+
+
+class TestConvBackprops:
+    def test_backprop_input_shape_from_attr(self, g):
+        f = g.create_op("Variable", "f", attrs={"shape": (3, 3, 3, 8)}).outputs[0]
+        gy = _ph(g, "gy", (4, 16, 16, 8))
+        bp = g.create_op(
+            "Conv2DBackpropInput", "bp", [f, gy],
+            attrs={"stride": 1, "padding": "SAME", "input_shape": (4, 16, 16, 3)},
+        )
+        assert bp.outputs[0].shape == (4, 16, 16, 3)
+        assert "batch" in bp.split_dims
+
+    def test_backprop_filter_shape_from_attr(self, g):
+        x = _ph(g, "x", (4, 16, 16, 3))
+        gy = _ph(g, "gy", (4, 16, 16, 8))
+        bp = g.create_op(
+            "Conv2DBackpropFilter", "bp", [x, gy],
+            attrs={"stride": 1, "padding": "SAME", "filter_shape": (3, 3, 3, 8)},
+        )
+        assert bp.outputs[0].shape == (3, 3, 3, 8)
+        assert "channel" in bp.split_dims
+
+
+class TestMatMul:
+    def test_rank2(self, g):
+        a, b = _ph(g, "a", (4, 8)), _ph(g, "b", (8, 6))
+        mm = g.create_op("MatMul", "m", [a, b])
+        assert mm.outputs[0].shape == (4, 6)
+        assert mm.flops == 2 * 4 * 8 * 6
+
+    def test_rank2_transposed(self, g):
+        a, b = _ph(g, "a", (8, 4)), _ph(g, "b", (6, 8))
+        mm = g.create_op(
+            "MatMul", "m", [a, b], attrs={"transpose_a": True, "transpose_b": True}
+        )
+        assert mm.outputs[0].shape == (4, 6)
+
+    def test_rank3_by_rank2(self, g):
+        a, b = _ph(g, "a", (5, 4, 8)), _ph(g, "b", (8, 6))
+        mm = g.create_op("MatMul", "m", [a, b])
+        assert mm.outputs[0].shape == (5, 4, 6)
+        assert mm.flops == 2 * 5 * 4 * 8 * 6
+
+    def test_rank3_batched(self, g):
+        a, b = _ph(g, "a", (5, 4, 8)), _ph(g, "b", (5, 8, 6))
+        mm = g.create_op("MatMul", "m", [a, b])
+        assert mm.outputs[0].shape == (5, 4, 6)
+
+    def test_rank3_batched_transpose_b(self, g):
+        a, b = _ph(g, "a", (5, 4, 8)), _ph(g, "b", (5, 6, 8))
+        mm = g.create_op("MatMul", "m", [a, b], attrs={"transpose_b": True})
+        assert mm.outputs[0].shape == (5, 4, 6)
+
+    def test_inner_dim_mismatch(self, g):
+        a, b = _ph(g, "a", (4, 8)), _ph(g, "b", (9, 6))
+        with pytest.raises(ShapeError, match="inner dims"):
+            g.create_op("MatMul", "m", [a, b])
+
+    def test_batch_dim_mismatch(self, g):
+        a, b = _ph(g, "a", (5, 4, 8)), _ph(g, "b", (6, 8, 6))
+        with pytest.raises(ShapeError):
+            g.create_op("MatMul", "m", [a, b])
+
+    def test_split_dims_rank2(self, g):
+        a, b = _ph(g, "a", (4, 8)), _ph(g, "b", (8, 6))
+        mm = g.create_op("MatMul", "m", [a, b])
+        dims = mm.split_dims
+        assert set(dims) == {"row", "column"}
+        assert dims["row"].input_axes == {0: 0, 1: None}
+        assert dims["column"].input_axes == {0: None, 1: 1}
+
+    def test_split_dims_batched(self, g):
+        a, b = _ph(g, "a", (5, 4, 8)), _ph(g, "b", (5, 8, 6))
+        assert set(g.create_op("MatMul", "m", [a, b]).split_dims) == {"batch"}
+
+
+class TestPooling:
+    def test_maxpool_shape(self, g):
+        x = _ph(g, "x", (2, 8, 8, 4))
+        p = g.create_op("MaxPool", "p", [x], attrs={"ksize": 2})
+        assert p.outputs[0].shape == (2, 4, 4, 4)
+
+    def test_avgpool_stride(self, g):
+        x = _ph(g, "x", (2, 9, 9, 4))
+        p = g.create_op(
+            "AvgPool", "p", [x], attrs={"ksize": 3, "stride": 2, "padding": "VALID"}
+        )
+        assert p.outputs[0].shape == (2, 4, 4, 4)
+
+    def test_window_too_large(self, g):
+        x = _ph(g, "x", (2, 2, 2, 4))
+        with pytest.raises(ShapeError):
+            g.create_op("MaxPool", "p", [x], attrs={"ksize": 3, "padding": "VALID"})
+
+
+class TestStructuralOps:
+    def test_concat(self, g):
+        a, b = _ph(g, "a", (2, 3)), _ph(g, "b", (2, 5))
+        c = g.create_op("Concat", "c", [a, b], attrs={"axis": 1})
+        assert c.outputs[0].shape == (2, 8)
+
+    def test_concat_mismatch(self, g):
+        a, b = _ph(g, "a", (2, 3)), _ph(g, "b", (3, 5))
+        with pytest.raises(ShapeError):
+            g.create_op("Concat", "c", [a, b], attrs={"axis": 1})
+
+    def test_splitn_default_sizes(self, g):
+        x = _ph(g, "x", (10, 4))
+        s = g.create_op("SplitN", "s", [x], attrs={"axis": 0, "num_splits": 4})
+        assert [t.shape for t in s.outputs] == [(3, 4), (3, 4), (2, 4), (2, 4)]
+        assert s.attrs["sizes"] == [3, 3, 2, 2]
+
+    def test_splitn_explicit_sizes(self, g):
+        x = _ph(g, "x", (10, 4))
+        s = g.create_op(
+            "SplitN", "s", [x],
+            attrs={"axis": 0, "num_splits": 2, "sizes": [7, 3]},
+        )
+        assert [t.shape for t in s.outputs] == [(7, 4), (3, 4)]
+
+    def test_splitn_bad_sizes(self, g):
+        x = _ph(g, "x", (10, 4))
+        with pytest.raises(ShapeError):
+            g.create_op(
+                "SplitN", "s", [x],
+                attrs={"axis": 0, "num_splits": 2, "sizes": [7, 4]},
+            )
+
+    def test_reshape_preserves_elements(self, g):
+        x = _ph(g, "x", (4, 6))
+        r = g.create_op("Reshape", "r", [x], attrs={"shape": (2, 12)})
+        assert r.outputs[0].shape == (2, 12)
+
+    def test_reshape_bad_count(self, g):
+        x = _ph(g, "x", (4, 6))
+        with pytest.raises(ShapeError):
+            g.create_op("Reshape", "r", [x], attrs={"shape": (5, 5)})
+
+    def test_transpose(self, g):
+        x = _ph(g, "x", (2, 3, 4))
+        t = g.create_op("Transpose", "t", [x], attrs={"perm": (2, 0, 1)})
+        assert t.outputs[0].shape == (4, 2, 3)
+
+    def test_transpose_bad_perm(self, g):
+        x = _ph(g, "x", (2, 3))
+        with pytest.raises(ShapeError):
+            g.create_op("Transpose", "t", [x], attrs={"perm": (0, 0)})
+
+    def test_addn(self, g):
+        a, b, c = _ph(g, "a", (3,)), _ph(g, "b", (3,)), _ph(g, "c", (3,))
+        s = g.create_op("AddN", "s", [a, b, c])
+        assert s.outputs[0].shape == (3,)
+        assert s.flops == 2 * 3
+
+    def test_reduce_sum(self, g):
+        x = _ph(g, "x", (4, 5, 6))
+        r = g.create_op("ReduceSum", "r", [x], attrs={"axis": 1})
+        assert r.outputs[0].shape == (4, 6)
+
+
+class TestNNOps:
+    def test_biasadd(self, g):
+        x, b = _ph(g, "x", (2, 8)), _ph(g, "b", (8,))
+        assert g.create_op("BiasAdd", "y", [x, b]).outputs[0].shape == (2, 8)
+
+    def test_biasadd_length_mismatch(self, g):
+        x, b = _ph(g, "x", (2, 8)), _ph(g, "b", (7,))
+        with pytest.raises(ShapeError):
+            g.create_op("BiasAdd", "y", [x, b])
+
+    def test_batchnorm(self, g):
+        x = _ph(g, "x", (2, 4, 4, 8))
+        gamma, beta = _ph(g, "g1", (8,)), _ph(g, "b1", (8,))
+        bn = g.create_op("BatchNorm", "bn", [x, gamma, beta])
+        assert bn.outputs[0].shape == x.shape
+        assert not bn.is_splittable, "BatchNorm must not be batch-splittable"
+
+    def test_layernorm(self, g):
+        x = _ph(g, "x", (6, 16))
+        gamma, beta = _ph(g, "g1", (16,)), _ph(g, "b1", (16,))
+        ln = g.create_op("LayerNorm", "ln", [x, gamma, beta])
+        assert ln.outputs[0].shape == (6, 16)
+
+    def test_embedding(self, g):
+        table = g.create_op("Variable", "t", attrs={"shape": (100, 8)}).outputs[0]
+        ids = _ph(g, "ids", (4, 7), dtype="int32")
+        e = g.create_op("Embedding", "e", [table, ids])
+        assert e.outputs[0].shape == (4, 7, 8)
+        assert e.outputs[0].dtype == "float32"
+
+    def test_lstm_cell(self, g):
+        x = _ph(g, "x", (4, 10))
+        h = _ph(g, "h", (4, 16))
+        c = _ph(g, "c", (4, 16))
+        w = g.create_op("Variable", "w", attrs={"shape": (26, 64)}).outputs[0]
+        b = g.create_op("Variable", "b", attrs={"shape": (64,)}).outputs[0]
+        cell = g.create_op("LSTMCell", "cell", [x, h, c, w, b])
+        assert [t.shape for t in cell.outputs] == [(4, 16), (4, 16)]
+        assert cell.flops == 2 * 4 * 26 * 64
+        assert not cell.is_splittable
+
+    def test_lstm_cell_bad_weight(self, g):
+        x = _ph(g, "x", (4, 10))
+        h = _ph(g, "h", (4, 16))
+        c = _ph(g, "c", (4, 16))
+        w = g.create_op("Variable", "w", attrs={"shape": (25, 64)}).outputs[0]
+        b = g.create_op("Variable", "b", attrs={"shape": (64,)}).outputs[0]
+        with pytest.raises(ShapeError):
+            g.create_op("LSTMCell", "cell", [x, h, c, w, b])
+
+    def test_cross_entropy_scalar_loss(self, g):
+        logits = _ph(g, "logits", (4, 10))
+        labels = _ph(g, "labels", (4,), dtype="int32")
+        loss = g.create_op("CrossEntropyLoss", "l", [logits, labels])
+        assert loss.outputs[0].shape == (1,)
+
+    def test_cross_entropy_label_mismatch(self, g):
+        logits = _ph(g, "logits", (4, 10))
+        labels = _ph(g, "labels", (5,), dtype="int32")
+        with pytest.raises(ShapeError):
+            g.create_op("CrossEntropyLoss", "l", [logits, labels])
+
+    def test_apply_gradient(self, g):
+        var = g.create_op("Variable", "w", attrs={"shape": (8, 8)}).outputs[0]
+        grad = _ph(g, "grad", (8, 8))
+        upd = g.create_op("ApplyGradient", "apply", [var, grad])
+        assert upd.outputs[0].shape == (1,)
+        assert upd.flops == 2 * 64
+
+    def test_apply_gradient_shape_mismatch(self, g):
+        var = g.create_op("Variable", "w", attrs={"shape": (8, 8)}).outputs[0]
+        grad = _ph(g, "grad", (8, 7))
+        with pytest.raises(ShapeError):
+            g.create_op("ApplyGradient", "apply", [var, grad])
+
+
+class TestVariableAndMemory:
+    def test_variable_param_bytes(self, g):
+        v = g.create_op("Variable", "w", attrs={"shape": (10, 10)})
+        assert v.param_bytes == 400
+        assert v.persistent_bytes == 800  # params + the output tensor
+
+    def test_placeholder_no_params(self, g):
+        p = g.create_op("Placeholder", "x", attrs={"shape": (10,)})
+        assert p.param_bytes == 0
+
+    def test_bytes_accessed_counts_io(self, g):
+        a, b = _ph(g, "a", (4, 4)), _ph(g, "b", (4, 4))
+        add = g.create_op("Add", "s", [a, b])
+        assert add.bytes_accessed == 3 * 64
+
+
+class TestRegistry:
+    def test_registered_types_nonempty(self):
+        types = registered_types()
+        assert "Conv2D" in types and "MatMul" in types and "LSTMCell" in types
+
+    def test_get_spec_roundtrip(self):
+        assert get_spec("Conv2D").type_name == "Conv2D"
+
+    def test_every_spec_names_itself(self):
+        for name in registered_types():
+            assert get_spec(name).type_name == name

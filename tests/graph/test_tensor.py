@@ -1,0 +1,65 @@
+"""Unit tests for the Tensor descriptor."""
+
+import pytest
+
+from repro.graph import DTYPE_SIZES, ShapeError, Tensor
+from repro.graph.tensor import shape_num_elements
+
+
+class TestShapeNumElements:
+    def test_scalar_shape(self):
+        assert shape_num_elements(()) == 1
+
+    def test_vector(self):
+        assert shape_num_elements((7,)) == 7
+
+    def test_multi_dim(self):
+        assert shape_num_elements((2, 3, 4)) == 24
+
+
+class TestTensor:
+    def test_num_elements(self):
+        t = Tensor("t:0", (2, 3, 5))
+        assert t.num_elements == 30
+
+    def test_size_bytes_float32(self):
+        t = Tensor("t:0", (10, 10))
+        assert t.size_bytes == 400
+
+    @pytest.mark.parametrize("dtype,expected", sorted(DTYPE_SIZES.items()))
+    def test_size_bytes_by_dtype(self, dtype, expected):
+        t = Tensor("t:0", (8,), dtype=dtype)
+        assert t.size_bytes == 8 * expected
+
+    def test_rank(self):
+        assert Tensor("t:0", (1, 2, 3, 4)).rank == 4
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ValueError, match="unknown dtype"):
+            Tensor("t:0", (2,), dtype="complex128")
+
+    def test_non_positive_dim_rejected(self):
+        with pytest.raises(ShapeError):
+            Tensor("t:0", (2, 0))
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ShapeError):
+            Tensor("t:0", (2, -3))
+
+    def test_shape_coerced_to_ints(self):
+        t = Tensor("t:0", (2.0, 3.0))
+        assert t.shape == (2, 3)
+        assert all(isinstance(d, int) for d in t.shape)
+
+    def test_with_dim_replaces_axis(self):
+        t = Tensor("t:0", (4, 5, 6))
+        assert t.with_dim(1, 9) == (4, 9, 6)
+        assert t.shape == (4, 5, 6), "with_dim must not mutate"
+
+    def test_with_dim_axis_out_of_range(self):
+        with pytest.raises(ShapeError):
+            Tensor("t:0", (4,)).with_dim(1, 2)
+
+    def test_with_dim_rejects_non_positive(self):
+        with pytest.raises(ShapeError):
+            Tensor("t:0", (4,)).with_dim(0, 0)

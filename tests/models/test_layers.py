@@ -1,0 +1,129 @@
+"""Tests for the LayerHelper building blocks."""
+
+import pytest
+
+from repro.graph import Graph, ShapeError
+from repro.models import LayerHelper
+
+
+@pytest.fixture
+def net():
+    return LayerHelper(Graph("layers"), "tower/")
+
+
+class TestPrefixing:
+    def test_ops_are_prefixed(self, net):
+        net.placeholder("x", (2, 3))
+        assert "tower/x" in net.graph
+
+    def test_variable_shapes(self, net):
+        w = net.variable("w", (3, 4))
+        assert w.shape == (3, 4)
+        assert net.graph.get_op("tower/w").op_type == "Variable"
+
+
+class TestConvBlock:
+    def test_conv_bias_relu_chain(self, net):
+        x = net.placeholder("x", (2, 8, 8, 3))
+        y = net.conv(x, "c1", ksize=3, out_channels=4)
+        assert y.shape == (2, 8, 8, 4)
+        g = net.graph
+        assert g.get_op("tower/c1").op_type == "Conv2D"
+        assert g.get_op("tower/c1_bias").op_type == "BiasAdd"
+        assert g.get_op("tower/c1_relu").op_type == "Relu"
+
+    def test_conv_batch_norm_variant(self, net):
+        x = net.placeholder("x", (2, 8, 8, 3))
+        net.conv(x, "c1", ksize=3, out_channels=4, batch_norm=True)
+        g = net.graph
+        assert "tower/c1_bn" in g
+        assert "tower/c1_bias" not in g, "BN replaces the bias"
+
+    def test_conv_lrn_variant(self, net):
+        x = net.placeholder("x", (2, 8, 8, 3))
+        net.conv(x, "c1", ksize=3, out_channels=4, lrn=True)
+        assert "tower/c1_lrn" in net.graph
+
+    def test_flatten(self, net):
+        x = net.placeholder("x", (2, 4, 4, 3))
+        assert net.flatten(x, "flat").shape == (2, 48)
+
+
+class TestDense:
+    def test_dense_with_dropout(self, net):
+        x = net.placeholder("x", (4, 8))
+        y = net.dense(x, "fc", 16, relu=True, dropout=0.5)
+        assert y.shape == (4, 16)
+        assert "tower/fc_drop" in net.graph
+
+    def test_softmax_loss_creates_labels(self, net):
+        x = net.placeholder("x", (4, 8))
+        logits = net.dense(x, "fc", 10)
+        loss = net.softmax_loss(logits)
+        assert loss.shape == (1,)
+        assert "tower/loss_labels" in net.graph
+
+
+class TestLSTMStack:
+    def test_outputs_per_step_and_shared_weights(self, net):
+        steps = [net.placeholder(f"x{t}", (4, 8)) for t in range(3)]
+        outputs = net.lstm_stack(steps, "lstm", hidden=16, num_layers=2)
+        assert len(outputs) == 3
+        assert all(o.shape == (4, 16) for o in outputs)
+        cells = [op for op in net.graph.ops if op.op_type == "LSTMCell"]
+        assert len(cells) == 6
+        weights = {c.inputs[3].name for c in cells}
+        assert len(weights) == 2
+
+
+class TestAttention:
+    def test_self_attention_shape(self, net):
+        x = net.placeholder("x", (4 * 6, 32))  # batch 4, seq 6, dim 32
+        y = net.multi_head_attention(
+            x, x, "attn", batch=4, query_len=6, memory_len=6,
+            num_heads=4, model_dim=32,
+        )
+        assert y.shape == (24, 32)
+        scores = net.graph.get_op("tower/attn_scores")
+        assert scores.outputs[0].shape == (16, 6, 6)  # (b*heads, tq, tk)
+
+    def test_cross_attention_memory_length(self, net):
+        q = net.placeholder("q", (2 * 3, 16))
+        m = net.placeholder("m", (2 * 7, 16))
+        y = net.multi_head_attention(
+            q, m, "cross", batch=2, query_len=3, memory_len=7,
+            num_heads=2, model_dim=16,
+        )
+        assert y.shape == (6, 16)
+        scores = net.graph.get_op("tower/cross_scores")
+        assert scores.outputs[0].shape == (4, 3, 7)
+
+    def test_heads_must_divide_dim(self, net):
+        x = net.placeholder("x", (4, 30))
+        with pytest.raises(ValueError, match="divisible"):
+            net.multi_head_attention(
+                x, x, "bad", batch=4, query_len=1, memory_len=1,
+                num_heads=4, model_dim=30,
+            )
+
+    def test_attention_is_differentiable(self, net):
+        from repro.graph import build_training_graph
+
+        x = net.placeholder("x", (2 * 4, 16))
+        y = net.multi_head_attention(
+            x, x, "attn", batch=2, query_len=4, memory_len=4,
+            num_heads=2, model_dim=16,
+        )
+        logits = net.dense(y, "head", 5)
+        loss = net.softmax_loss(logits)
+        build_training_graph(net.graph, loss)
+        net.graph.validate()
+
+
+class TestFFN:
+    def test_transformer_ffn_round_trip_dim(self, net):
+        x = net.placeholder("x", (8, 32))
+        y = net.transformer_ffn(x, "ffn", hidden=64)
+        assert y.shape == (8, 32)
+        assert "tower/ffn_inner" in net.graph
+        assert "tower/ffn_outer" in net.graph

@@ -1,0 +1,174 @@
+"""Tests for the model zoo: every benchmark model builds and trains."""
+
+import pytest
+
+from repro.graph import Graph, build_training_graph
+from repro.models import (
+    MODEL_ORDER,
+    all_models,
+    build_bert,
+    build_gnmt,
+    build_inception_v3,
+    build_lenet,
+    build_resnet,
+    build_rnnlm,
+    build_transformer,
+    build_vgg19,
+    get_model,
+    model_names,
+)
+
+SMALL_BATCH = 8
+
+
+class TestRegistry:
+    def test_model_order_matches_paper(self):
+        assert model_names() == [
+            "inception_v3", "vgg19", "resnet200", "lenet", "alexnet",
+            "gnmt", "rnnlm", "transformer", "bert_large",
+        ]
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("resnet9000")
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError, match="unknown preset"):
+            get_model("vgg19", preset="huge")
+
+    def test_paper_batches_match_table1(self):
+        batches = {
+            "inception_v3": 64, "vgg19": 64, "resnet200": 32, "lenet": 256,
+            "alexnet": 256, "gnmt": 128, "rnnlm": 64, "transformer": 4096,
+            "bert_large": 16,
+        }
+        for name, batch in batches.items():
+            assert get_model(name).global_batch == batch
+
+    def test_categories(self):
+        cnn = {"inception_v3", "vgg19", "resnet200", "lenet", "alexnet"}
+        for spec in all_models():
+            expected = "cnn" if spec.name in cnn else "nmt"
+            assert spec.category == expected
+
+    def test_paper_preset_is_deeper(self):
+        for name in ("resnet200", "bert_large", "transformer", "inception_v3"):
+            bench = Graph(f"{name}_bench")
+            get_model(name, "bench").builder(bench, "", SMALL_BATCH)
+            paper = Graph(f"{name}_paper")
+            get_model(name, "paper").builder(paper, "", SMALL_BATCH)
+            assert paper.num_ops > bench.num_ops
+
+
+@pytest.mark.parametrize("name", MODEL_ORDER)
+class TestEveryBenchModel:
+    def test_forward_builds_and_validates(self, name):
+        spec = get_model(name)
+        g = Graph(name)
+        loss = spec.builder(g, "", SMALL_BATCH)
+        g.validate()
+        assert loss.num_elements == 1, "loss must be scalar-like"
+        assert g.total_flops() > 0
+        assert g.total_param_bytes() > 0
+
+    def test_training_graph_builds(self, name):
+        spec = get_model(name)
+        g = Graph(name)
+        loss = spec.builder(g, "", SMALL_BATCH)
+        build_training_graph(g, loss)
+        g.validate()
+        assert any(op.op_type == "ApplyGradient" for op in g.ops)
+
+    def test_builder_deterministic_names(self, name):
+        spec = get_model(name)
+        g1, g2 = Graph("a"), Graph("b")
+        spec.builder(g1, "", SMALL_BATCH)
+        spec.builder(g2, "", SMALL_BATCH)
+        assert {op.name for op in g1.ops} == {op.name for op in g2.ops}
+
+    def test_prefix_isolates_towers(self, name):
+        spec = get_model(name)
+        g = Graph("two_towers")
+        spec.builder(g, "replica_0/", SMALL_BATCH)
+        spec.builder(g, "replica_1/", SMALL_BATCH)
+        g.validate()
+        tower0 = {op.name for op in g.ops if op.name.startswith("replica_0/")}
+        tower1 = {op.name for op in g.ops if op.name.startswith("replica_1/")}
+        assert len(tower0) == len(tower1)
+        assert len(tower0) + len(tower1) == g.num_ops
+
+
+class TestArchitectureSignatures:
+    def test_lenet_structure(self):
+        g = Graph("lenet")
+        build_lenet(g, "", 16)
+        convs = [op for op in g.ops if op.op_type == "Conv2D"]
+        assert len(convs) == 2
+        assert sum(op.op_type == "MatMul" for op in g.ops) == 3
+
+    def test_vgg19_has_16_convs_and_3_fc(self):
+        g = Graph("vgg")
+        build_vgg19(g, "", 8)
+        assert sum(op.op_type == "Conv2D" for op in g.ops) == 16
+        assert sum(op.op_type == "MatMul" for op in g.ops) == 3
+
+    def test_vgg_fc6_parameter_count_matches_table5(self):
+        """Paper Table 5 reports fc6 as 102764.544 "KB" — that is exactly
+        (25088*4096 weights + 4096 biases) / 1000 parameters."""
+        g = Graph("vgg")
+        build_vgg19(g, "", 8)
+        params = (
+            g.get_op("fc6_w").outputs[0].num_elements
+            + g.get_op("fc6_b").outputs[0].num_elements
+        )
+        assert params / 1000 == pytest.approx(102764.544, rel=1e-6)
+
+    def test_resnet_block_counts(self):
+        g = Graph("resnet")
+        build_resnet(g, "", 4, depth_blocks=(2, 2, 2, 2))
+        convs = sum(op.op_type == "Conv2D" for op in g.ops)
+        # 1 stem + 8 blocks * 3 convs + 4 projection convs (one per stage).
+        assert convs == 1 + 8 * 3 + 4
+        assert any(op.op_type == "BatchNorm" for op in g.ops)
+        assert any(op.op_type == "Add" for op in g.ops), "residual adds"
+
+    def test_inception_has_concats(self):
+        g = Graph("inception")
+        build_inception_v3(g, "", 8, module_counts=(1, 1, 1))
+        assert sum(op.op_type == "Concat" for op in g.ops) >= 5
+
+    def test_rnnlm_cells_and_shared_weights(self):
+        g = Graph("rnnlm")
+        build_rnnlm(g, "", 8, seq_len=5, num_layers=2)
+        cells = [op for op in g.ops if op.op_type == "LSTMCell"]
+        assert len(cells) == 10
+        weights = {op.inputs[3].name for op in cells}
+        assert len(weights) == 2, "weights shared across time steps per layer"
+
+    def test_gnmt_has_attention_matmuls(self):
+        g = Graph("gnmt")
+        build_gnmt(g, "", 8, src_len=4, tgt_len=4)
+        assert "attn_scores" in g
+        assert "attn_context" in g
+        assert sum(op.op_type == "LSTMCell" for op in g.ops) == 8 * 4
+
+    def test_transformer_layer_counts(self):
+        g = Graph("tf")
+        build_transformer(g, "", 64, seq_len=8, num_layers=2)
+        softmaxes = sum(op.op_type == "Softmax" for op in g.ops)
+        # 2 encoder self-attns + 2 decoder self-attns + 2 cross-attns.
+        assert softmaxes == 6
+
+    def test_bert_masked_lm_head(self):
+        g = Graph("bert")
+        build_bert(g, "", 4, num_layers=2, model_dim=64, ffn_dim=128,
+                   num_heads=4, seq_len=8, vocab_size=100)
+        assert "mlm_logits" in g
+        assert g.get_op("mlm_logits").outputs[0].shape == (4 * 8, 100)
+
+    def test_alexnet_lrn_present(self):
+        from repro.models import build_alexnet
+
+        g = Graph("alex")
+        build_alexnet(g, "", 8)
+        assert sum(op.op_type == "LRN" for op in g.ops) == 2

@@ -1,0 +1,121 @@
+"""Tests for traces, the profiler, and cost-model ingestion."""
+
+import pytest
+
+from repro.costmodel import CommunicationCostModel, ComputationCostModel
+from repro.graph import Graph, build_data_parallel_training_graph, data_parallel_placement
+from repro.hardware import PerfModel
+from repro.profiling import (
+    OpRecord,
+    Profiler,
+    StepTrace,
+    TransferRecord,
+    update_cost_models,
+)
+from repro.sim import ExecutionSimulator
+
+from tests.util import build_mlp
+
+
+class TestStepTraceAggregation:
+    @pytest.fixture
+    def trace(self):
+        return StepTrace(
+            op_records=[
+                OpRecord("a", "Relu", "d0", 0.0, 1.0),
+                OpRecord("b", "Relu", "d0", 1.0, 3.0),
+                OpRecord("c", "Relu", "d1", 0.0, 4.0),
+            ],
+            transfer_records=[
+                TransferRecord("a:0", "d0", "d1", 100, 1.0, 2.0),
+                TransferRecord("b:0", "d0", "d1", 200, 2.0, 2.5),
+            ],
+            makespan=4.0,
+        )
+
+    def test_compute_time_by_device(self, trace):
+        busy = trace.compute_time_by_device()
+        assert busy == {"d0": 3.0, "d1": 4.0}
+
+    def test_avg_compute_time(self, trace):
+        assert trace.avg_compute_time == pytest.approx(3.5)
+
+    def test_total_memcpy(self, trace):
+        assert trace.total_memcpy_time == pytest.approx(1.5)
+
+    def test_memcpy_by_pair(self, trace):
+        assert trace.memcpy_time_by_pair() == {("d0", "d1"): 1.5}
+
+    def test_ops_by_device(self, trace):
+        assert trace.ops_by_device() == {"d0": 2, "d1": 1}
+
+    def test_record_durations(self, trace):
+        assert trace.op_records[1].duration == pytest.approx(2.0)
+        assert trace.transfer_records[1].duration == pytest.approx(0.5)
+
+
+class TestProfilerIntegration:
+    @pytest.fixture
+    def setup(self, topo2):
+        graph, _ = build_data_parallel_training_graph(build_mlp, 2, 32)
+        perf = PerfModel(topo2, noise_sigma=0.01, seed=4)
+        simulator = ExecutionSimulator(graph, topo2, perf)
+        computation = ComputationCostModel()
+        communication = CommunicationCostModel()
+        profiler = Profiler(simulator, computation, communication)
+        placement = data_parallel_placement(graph, topo2.device_names)
+        return graph, profiler, computation, communication, placement
+
+    def test_profile_returns_requested_steps(self, setup):
+        _, profiler, _, _, placement = setup
+        result = profiler.profile(placement, num_steps=3)
+        assert len(result.traces) == 3
+        assert result.mean_iteration_time > 0
+
+    def test_cost_models_populated(self, setup):
+        graph, profiler, computation, communication, placement = setup
+        profiler.profile(placement, num_steps=2)
+        assert computation.num_entries > 0
+        assert communication.num_pairs > 0
+        # Every op that executed has a profiled time on its device.
+        for op in graph.ops:
+            assert computation.known(op.name, placement[op.name])
+
+    def test_update_models_disabled(self, setup):
+        _, profiler, computation, communication, placement = setup
+        profiler.profile(placement, num_steps=1, update_models=False)
+        assert computation.num_entries == 0
+        assert communication.num_pairs == 0
+
+    def test_learned_times_track_ground_truth(self, setup, topo2):
+        graph, profiler, computation, _, placement = setup
+        profiler.profile(placement, num_steps=5)
+        perf = PerfModel(topo2)
+        for op in list(graph.ops)[:20]:
+            device = placement[op.name]
+            truth = perf.base_op_time(op, topo2.device(device))
+            learned = computation.time(op, device)
+            assert learned == pytest.approx(truth, rel=0.15)
+
+    def test_comm_regression_tracks_link(self, setup, topo2):
+        graph, profiler, _, communication, placement = setup
+        profiler.profile(placement, num_steps=5)
+        a, b = topo2.device_names
+        size = 4 * 1024 * 1024
+        truth = topo2.transfer_time(a, b, size)
+        learned = communication.time(a, b, size)
+        assert learned == pytest.approx(truth, rel=0.3)
+
+
+def test_update_cost_models_direct(topo2):
+    graph = Graph("g")
+    a = graph.create_op("Generic", "a", attrs={"output_shapes": [(4,)]})
+    trace = StepTrace(
+        op_records=[OpRecord("a", "Generic", "d0", 0.0, 0.5)],
+        transfer_records=[TransferRecord("a:0", "d0", "d1", 64, 0.5, 0.7)],
+    )
+    computation = ComputationCostModel()
+    communication = CommunicationCostModel()
+    update_cost_models(graph, [trace], computation, communication)
+    assert computation.profiled_time("a", "d0") == pytest.approx(0.5)
+    assert communication.known("d0", "d1")
