@@ -10,7 +10,7 @@ execution order — which is why FastT's larger solution space beats it
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 

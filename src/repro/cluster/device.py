@@ -8,7 +8,7 @@ profiled times, exactly as on the physical testbed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 GiB = 1024 ** 3
 

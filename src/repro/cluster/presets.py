@@ -7,7 +7,7 @@ network (Sec. 6.2 / 6.3).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from .device import V100, Device, DeviceSpec
 from .topology import ETHERNET, NVLINK, Topology

@@ -51,6 +51,11 @@ class FastTConfig:
     enable_splitting: bool = True
     split_counts: Optional[List[int]] = None
     max_candidate_ops: Optional[int] = 12
+    #: Use the reference copy-per-candidate OS-DPOS path (for baselines
+    #: and the equivalence suite; the strategies are identical).
+    naive_search: bool = False
+    #: Fan split-candidate evaluation out to this many worker processes.
+    search_workers: Optional[int] = None
     memory_fraction: float = 0.9
     restart_overhead_seconds: float = 5.0
     enable_order_enforcement: bool = True
@@ -83,6 +88,8 @@ class CalculationReport:
     algorithm_seconds: float = 0.0
     simulated_profiling_seconds: float = 0.0
     simulated_restart_seconds: float = 0.0
+    candidates_evaluated: int = 0
+    candidates_pruned: int = 0
 
     @property
     def total_search_seconds(self) -> float:
@@ -92,6 +99,21 @@ class CalculationReport:
             + self.simulated_profiling_seconds
             + self.simulated_restart_seconds
         )
+
+
+class _ServerPairClass:
+    """Classify device pairs as intra- or inter-server transfers.
+
+    A class (rather than a closure) so the communication cost model stays
+    picklable, which the ``search_workers`` process pool requires.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+
+    def __call__(self, src: str, dst: str) -> str:
+        a, b = self.topology.device(src), self.topology.device(dst)
+        return "intra" if a.server == b.server else "inter"
 
 
 class StrategyCalculator:
@@ -121,12 +143,10 @@ class StrategyCalculator:
         self.alternative_inputs = list(alternative_inputs or [])
         self._alternatives_profiled = False
 
-        def pair_class(src: str, dst: str) -> str:
-            a, b = topology.device(src), topology.device(dst)
-            return "intra" if a.server == b.server else "inter"
-
         self.computation = ComputationCostModel()
-        self.communication = CommunicationCostModel(pair_class=pair_class)
+        self.communication = CommunicationCostModel(
+            pair_class=_ServerPairClass(topology)
+        )
         self._stability = StabilityMonitor(self.config.stability_tolerance)
 
         initial_strategy.placement = apply_placement(
@@ -178,10 +198,11 @@ class StrategyCalculator:
         self.alternative_inputs = surviving
         return best
 
-    def _compute_strategy(self) -> tuple:
+    def _compute_strategy(self, report: "CalculationReport") -> tuple:
         """OS-DPOS over every candidate input graph; keep the best estimate.
 
-        Returns ``(strategy, rewritten graph)``.
+        Returns ``(strategy, rewritten graph)`` and accumulates the
+        search's candidate counters onto ``report``.
         """
         dpos = DPOS(
             self.topology,
@@ -197,8 +218,12 @@ class StrategyCalculator:
                     dpos,
                     split_counts=self.config.split_counts,
                     max_candidate_ops=self.config.max_candidate_ops,
+                    naive=self.config.naive_search,
+                    workers=self.config.search_workers,
                 ).run(graph)
                 strategy, rewritten = result.strategy, result.graph
+                report.candidates_evaluated += result.candidates_evaluated
+                report.candidates_pruned += result.candidates_pruned
             else:
                 dpos_result = dpos.run(graph.copy())
                 strategy, rewritten = dpos_result.strategy, graph
@@ -274,7 +299,7 @@ class StrategyCalculator:
                 break
 
             started = _time.perf_counter()
-            candidate, candidate_graph = self._compute_strategy()
+            candidate, candidate_graph = self._compute_strategy(report)
             report.algorithm_seconds += _time.perf_counter() - started
 
             should_activate = (

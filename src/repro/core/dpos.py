@@ -12,16 +12,32 @@ by the executor's priority queue.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cluster import Topology
-from ..costmodel import CommunicationCostModel, ComputationCostModel
+from ..costmodel import CommunicationCostModel, ComputationCostModel, CostCache
 from ..graph import Graph, Operation
-from .ranks import compute_ranks, critical_path, max_comm_fn, max_weight_fn, rank_order
+from .ranks import compute_ranks, critical_path, max_comm_fn, max_weight_fn
 from .strategy import Strategy
 
 _INF = float("inf")
+
+
+@dataclass
+class _Costs:
+    """The lookup functions one DPOS run schedules against.
+
+    Either thin wrappers over the graph and cost models (uncached path)
+    or memoized lookups from a shared :class:`CostCache` — the values are
+    identical, only the work to produce them differs.
+    """
+
+    time: Callable[[Operation, str], float]
+    predecessors: Callable[[Operation], List[Operation]]
+    edge_bytes: Callable[[Operation, Operation], int]
+    pair_time: Callable[[str, str, int], float]
+    persistent_bytes: Callable[[Operation], int]
 
 
 @dataclass
@@ -115,22 +131,51 @@ class DPOS:
         }
 
     # ------------------------------------------------------------------
-    def run(self, graph: Graph) -> DPOSResult:
-        """Compute placement, execution order, and estimated finish time."""
+    def run(
+        self, graph: Graph, cost_cache: Optional[CostCache] = None
+    ) -> DPOSResult:
+        """Compute placement, execution order, and estimated finish time.
+
+        ``cost_cache`` (shared across the candidate evaluations of one
+        OS-DPOS search) serves memoized cost and adjacency lookups; the
+        result is identical with or without it.
+        """
         devices = self.topology.device_names
-        weight = max_weight_fn(self.computation, devices)
-        comm = max_comm_fn(graph, self.communication, devices)
-        ranks = compute_ranks(graph, weight, comm)
-        cp_ops = critical_path(graph, ranks)
+        if cost_cache is not None:
+            weight = cost_cache.weight
+            comm = cost_cache.edge_comm
+            successors = cost_cache.successors
+            topo = cost_cache.topological_order()
+            costs = _Costs(
+                time=cost_cache.time,
+                predecessors=cost_cache.predecessors,
+                edge_bytes=cost_cache.edge_bytes,
+                pair_time=cost_cache.pair_time,
+                persistent_bytes=cost_cache.persistent_bytes,
+            )
+        else:
+            weight = max_weight_fn(self.computation, devices)
+            comm = max_comm_fn(graph, self.communication, devices)
+            successors = graph.successors
+            topo = graph.topological_order(canonical=True)
+            costs = _Costs(
+                time=self.computation.time,
+                predecessors=graph.predecessors,
+                edge_bytes=graph.edge_bytes,
+                pair_time=self.communication.time,
+                persistent_bytes=lambda op: op.persistent_bytes,
+            )
+        ranks = compute_ranks(
+            graph, weight, comm, order=topo, successors=successors
+        )
+        cp_ops = critical_path(graph, ranks, successors=successors)
         cp_names: Set[str] = {op.name for op in cp_ops}
         # Placement sequence: decreasing rank; among equal ranks, the
         # critical-path op goes first ("the next operation to be placed is
         # always the entry operation in the new critical path"), so a
         # same-rank sibling cannot grab the CP device's next slot; then
-        # topological index so predecessors precede successors.
-        topo_index = {
-            op.name: i for i, op in enumerate(graph.topological_order())
-        }
+        # (canonical) topological index so predecessors precede successors.
+        topo_index = {op.name: i for i, op in enumerate(topo)}
         sequence = sorted(
             ranks,
             key=lambda n: (-ranks[n], n not in cp_names, topo_index[n]),
@@ -144,11 +189,14 @@ class DPOS:
         group_device: Dict[str, str] = {}
 
         cp_pending: List[Operation] = list(cp_ops)
-        cp_device = self._select_cp_device(cp_pending, devices, mem_used)
+        cp_placed: Set[str] = set()
+        cp_device = self._select_cp_device(
+            cp_pending, cp_placed, devices, mem_used, costs
+        )
 
         for name in sequence:
             op = graph.get_op(name)
-            need = op.persistent_bytes
+            need = costs.persistent_bytes(op)
             forced = (
                 group_device.get(op.colocation_group)
                 if op.colocation_group is not None
@@ -159,18 +207,19 @@ class DPOS:
             elif name in cp_names:
                 if mem_used[cp_device] + need > self.capacities[cp_device]:
                     cp_device = self._select_cp_device(
-                        cp_pending, devices, mem_used, exclude={cp_device}
+                        cp_pending, cp_placed, devices, mem_used, costs,
+                        exclude={cp_device},
                     )
                 target = cp_device
             else:
                 target = self._min_eft_device(
-                    graph, op, devices, mem_used, need, placement,
-                    finish_times, schedules,
+                    op, devices, mem_used, need, placement,
+                    finish_times, schedules, costs,
                 )
             start = self._schedule_on(
-                graph, op, target, placement, finish_times, schedules[target]
+                op, target, placement, finish_times, schedules[target], costs
             )
-            duration = self.computation.time(op, target)
+            duration = costs.time(op, target)
             schedules[target].insert(start, duration)
             placement[name] = target
             start_times[name] = start
@@ -179,14 +228,12 @@ class DPOS:
             if op.colocation_group is not None and forced is None:
                 group_device[op.colocation_group] = target
             if name in cp_names:
-                cp_pending = [o for o in cp_pending if o.name != name]
+                cp_placed.add(name)
 
         order = sorted(
             start_times, key=lambda n: (start_times[n], -ranks[n], n)
         )
-        finish = max(
-            (finish_times[op.name] for op in graph.exit_ops()), default=0.0
-        )
+        finish = max(finish_times.values(), default=0.0)
         strategy = Strategy(
             placement=placement,
             order=order,
@@ -206,17 +253,21 @@ class DPOS:
     def _select_cp_device(
         self,
         cp_pending: Sequence[Operation],
+        cp_placed: Set[str],
         devices: Sequence[str],
         mem_used: Dict[str, int],
+        costs: _Costs,
         exclude: Optional[Set[str]] = None,
     ) -> str:
         """Pick the critical-path device (Alg. 1 line 5).
 
-        For each device, greedily fit as many remaining CP ops as memory
-        allows and score by average computation time; the smallest
-        average wins, then the larger fitted count, then device order.
+        For each device, greedily fit as many remaining (unplaced) CP ops
+        as memory allows and score by average computation time; the
+        smallest average wins, then the larger fitted count, then device
+        order.
         """
         exclude = exclude or set()
+        remaining = [op for op in cp_pending if op.name not in cp_placed]
         best: Optional[Tuple[float, int, int, str]] = None
         for idx, dev in enumerate(devices):
             if dev in exclude:
@@ -225,14 +276,14 @@ class DPOS:
             fitted = 0
             total = 0.0
             acc = 0
-            for op in cp_pending:
-                need = op.persistent_bytes
+            for op in remaining:
+                need = costs.persistent_bytes(op)
                 if acc + need > free:
                     break
                 acc += need
                 fitted += 1
-                total += self.computation.time(op, dev)
-            if fitted == 0 and cp_pending:
+                total += costs.time(op, dev)
+            if fitted == 0 and remaining:
                 continue
             avg = total / fitted if fitted else 0.0
             key = (avg, -fitted, idx, dev)
@@ -255,7 +306,6 @@ class DPOS:
 
     def _min_eft_device(
         self,
-        graph: Graph,
         op: Operation,
         devices: Sequence[str],
         mem_used: Dict[str, int],
@@ -263,6 +313,7 @@ class DPOS:
         placement: Dict[str, str],
         finish_times: Dict[str, float],
         schedules: Dict[str, _DeviceSchedule],
+        costs: _Costs,
     ) -> str:
         """Alg. 1 lines 12-19: min-EFT device among those with memory."""
         best_dev: Optional[str] = None
@@ -273,9 +324,9 @@ class DPOS:
                 continue
             feasible = True
             est = self._schedule_on(
-                graph, op, dev, placement, finish_times, schedules[dev]
+                op, dev, placement, finish_times, schedules[dev], costs
             )
-            eft = est + self.computation.time(op, dev)
+            eft = est + costs.time(op, dev)
             if eft < best_eft:
                 best_eft = eft
                 best_dev = dev
@@ -289,16 +340,16 @@ class DPOS:
 
     def _schedule_on(
         self,
-        graph: Graph,
         op: Operation,
         device: str,
         placement: Dict[str, str],
         finish_times: Dict[str, float],
         schedule: _DeviceSchedule,
+        costs: _Costs,
     ) -> float:
         """EST of ``op`` on ``device`` given committed predecessors."""
         ready = 0.0
-        for pred in graph.predecessors(op):
+        for pred in costs.predecessors(op):
             pred_dev = placement.get(pred.name)
             if pred_dev is None:
                 # Predecessor not yet placed can only happen for zero-rank
@@ -306,9 +357,9 @@ class DPOS:
                 continue
             arrival = finish_times[pred.name]
             if pred_dev != device:
-                arrival += self.communication.time(
-                    pred_dev, device, graph.edge_bytes(pred, op)
+                arrival += costs.pair_time(
+                    pred_dev, device, costs.edge_bytes(pred, op)
                 )
             ready = max(ready, arrival)
-        duration = self.computation.time(op, device)
+        duration = costs.time(op, device)
         return schedule.earliest_slot(ready, duration, self.insertion_scheduling)

@@ -7,16 +7,39 @@ parallelizable dimensions with each candidate split count.  A split is
 committed only if the best resulting DPOS finish time beats the current
 one; the first non-improving operation stops the search (the paper's
 early exit).
+
+Candidate evaluation comes in two flavours that return bit-identical
+strategies:
+
+* **naive** (``naive=True``): every candidate deep-copies the whole
+  graph and reruns DPOS cold — the reference implementation, O(graph
+  size) per candidate before DPOS even starts.
+* **incremental** (default): one working graph is mutated in place
+  through :class:`~repro.graph.SplitTransaction` (apply, evaluate,
+  undo — all O(split size)), cost and adjacency lookups are served from
+  a :class:`~repro.costmodel.CostCache` invalidated only for the ops a
+  split touched, and (with ``prune=True``) a placement-independent
+  lower bound skips the DPOS rerun for candidates that provably cannot
+  beat the incumbent finish time.  ``workers=N`` additionally fans the
+  surviving candidates of each op out to worker processes.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..costmodel import CostCache
 from ..graph import Graph, Operation
-from ..graph.rewrite import SplitDecision, SplitError, split_operation
+from ..graph.rewrite import (
+    SplitDecision,
+    SplitError,
+    SplitTransaction,
+    split_operation,
+)
 from .dpos import DPOS, DPOSResult
 from .ranks import compute_ranks, critical_path
 from .strategy import Strategy
@@ -32,6 +55,7 @@ class OSDPOSResult:
     dpos_result: DPOSResult
     candidates_evaluated: int = 0
     splits_rejected: int = 0
+    candidates_pruned: int = 0
 
     @property
     def split_list(self) -> List[SplitDecision]:
@@ -49,6 +73,76 @@ def default_split_counts(num_devices: int) -> List[int]:
     return counts
 
 
+class _SearchBounds:
+    """Placement-independent finish-time bounds over one graph version.
+
+    ``down[o]`` lower-bounds ``finish(o)`` and ``up[o]`` lower-bounds
+    ``finish - start(o)`` in *any* schedule DPOS can produce for this
+    graph: an op runs for at least its min-over-devices time, and chains
+    accumulate through predecessors/successors of **positive max
+    weight** — a positive-weight predecessor has a strictly larger
+    upward rank, is therefore placed earlier in the DPOS sequence, and
+    the EFT computation then provably waits for it.  (Zero-weight rank
+    ties may be placed out of order — DPOS treats an unplaced
+    predecessor's data as immediately available — so they contribute
+    nothing to the bound.)  Both arrays cost one O(V+E) sweep per
+    committed graph version.
+    """
+
+    def __init__(self, cache: CostCache) -> None:
+        down: Dict[str, float] = {}
+        up: Dict[str, float] = {}
+        order = cache.topological_order()
+        for op in order:
+            best = 0.0
+            for pred in cache.predecessors(op):
+                if cache.weight(pred) > 0.0 and down[pred.name] > best:
+                    best = down[pred.name]
+            down[op.name] = best + cache.min_weight(op)
+        for op in reversed(order):
+            tail = 0.0
+            if cache.weight(op) > 0.0:
+                for succ in cache.successors(op):
+                    if up[succ.name] > tail:
+                        tail = up[succ.name]
+            up[op.name] = tail + cache.min_weight(op)
+        self.down = down
+        self.up = up
+
+
+@dataclass
+class _OpOutcome:
+    """Result of evaluating every split candidate of one CP op."""
+
+    best: Optional[Tuple[SplitDecision, DPOSResult]]
+    evaluated: int
+    pruned: int
+    attempted: int
+
+
+def _worker_init(recursion_limit: int) -> None:
+    sys.setrecursionlimit(recursion_limit)
+
+
+def _evaluate_candidate(
+    dpos: DPOS, graph: Graph, op_name: str, dim: str, num_splits: int
+) -> Optional[DPOSResult]:
+    """Evaluate one split candidate in a worker process (``workers=N``).
+
+    The worker receives its own pickled copy of the working graph, so it
+    applies the split destructively; DPOS output is a pure function of
+    graph content, hence identical to the in-process evaluation.
+    """
+    try:
+        split_operation(graph, graph.get_op(op_name), dim, num_splits)
+    except SplitError:
+        return None
+    cache = CostCache(
+        graph, dpos.computation, dpos.communication, dpos.topology.device_names
+    )
+    return dpos.run(graph, cost_cache=cache)
+
+
 class OSDPOS:
     """Alg. 2, built on a configured :class:`DPOS` instance.
 
@@ -59,6 +153,15 @@ class OSDPOS:
         max_candidate_ops: Cap on how many critical-path ops are examined
             (None = the full path, as in the paper; the early exit usually
             stops far sooner).
+        naive: Use the reference copy-per-candidate evaluation path (no
+            transactions, no cache, no pruning).  Kept for the
+            equivalence suite and benchmark baselines.
+        prune: Skip a candidate's DPOS rerun when the lower bound proves
+            it cannot beat the incumbent finish time (incremental path
+            only; never changes the returned strategy).
+        workers: Evaluate each op's surviving candidates in this many
+            worker processes (incremental path only; the cost models
+            must be picklable, which the oracle models are).
     """
 
     def __init__(
@@ -66,6 +169,9 @@ class OSDPOS:
         dpos: DPOS,
         split_counts: Optional[Sequence[int]] = None,
         max_candidate_ops: Optional[int] = None,
+        naive: bool = False,
+        prune: bool = True,
+        workers: Optional[int] = None,
     ) -> None:
         self.dpos = dpos
         num_devices = len(dpos.topology.devices)
@@ -75,14 +181,27 @@ class OSDPOS:
             else default_split_counts(num_devices)
         )
         self.max_candidate_ops = max_candidate_ops
+        self.naive = naive
+        self.prune = prune
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive integer or None")
+        self.workers = workers
 
     # ------------------------------------------------------------------
     def run(self, graph: Graph) -> OSDPOSResult:
         """Compute split list, placement, and order for ``graph``.
 
-        ``graph`` itself is never mutated; committed splits are applied to
-        successive copies.
+        ``graph`` itself is never mutated; the search works on a private
+        copy.  All evaluation modes return identical strategies.
         """
+        if self.naive:
+            return self._run_naive(graph)
+        return self._run_incremental(graph)
+
+    # ------------------------------------------------------------------
+    # Reference path: copy the whole graph per candidate
+    # ------------------------------------------------------------------
+    def _run_naive(self, graph: Graph) -> OSDPOSResult:
         current_graph = graph.copy()
         best = self.dpos.run(current_graph)
         split_list: List[SplitDecision] = []
@@ -112,53 +231,10 @@ class OSDPOS:
                     splits_rejected += 1
                     break  # paper: stop at the first non-improving CP op
 
-        strategy = Strategy(
-            placement=dict(best.strategy.placement),
-            order=list(best.strategy.order),
-            split_list=split_list,
-            estimated_time=best.finish_time,
-            label="os-dpos" if split_list else "dpos",
+        return self._package(
+            current_graph, best, split_list,
+            candidates_evaluated, splits_rejected, 0,
         )
-        return OSDPOSResult(
-            graph=current_graph,
-            strategy=strategy,
-            finish_time=best.finish_time,
-            dpos_result=best,
-            candidates_evaluated=candidates_evaluated,
-            splits_rejected=splits_rejected,
-        )
-
-    # ------------------------------------------------------------------
-    def _placement_critical_path(
-        self, graph: Graph, result: DPOSResult
-    ) -> List[str]:
-        """Critical path under the committed placement (Alg. 2 lines 4-5).
-
-        Ranks are recomputed with the *assigned-device* computation time
-        and the *assigned-pair* communication time, then the path is
-        sorted by decreasing computation time on the assigned device.
-        """
-        placement = result.strategy.placement
-        computation = self.dpos.computation
-        communication = self.dpos.communication
-
-        def weight(op: Operation) -> float:
-            return computation.time(op, placement[op.name])
-
-        def comm(src: Operation, dst: Operation) -> float:
-            return communication.time(
-                placement[src.name],
-                placement[dst.name],
-                graph.edge_bytes(src, dst),
-            )
-
-        ranks = compute_ranks(graph, weight, comm)
-        path = critical_path(graph, ranks)
-        return [
-            op.name
-            for op in sorted(path, key=lambda o: -weight(o))
-            if weight(op) > 0.0
-        ]
 
     def _best_split_for(
         self, base_graph: Graph, op: Operation
@@ -187,3 +263,292 @@ class OSDPOS:
         if best is None:
             return None
         return (*best, tried)
+
+    # ------------------------------------------------------------------
+    # Incremental path: one working graph, transactional candidates
+    # ------------------------------------------------------------------
+    def _run_incremental(self, graph: Graph) -> OSDPOSResult:
+        working = graph.copy()
+        devices = self.dpos.topology.device_names
+        cache = CostCache(
+            working, self.dpos.computation, self.dpos.communication, devices
+        )
+        best = self.dpos.run(working, cost_cache=cache)
+        split_list: List[SplitDecision] = []
+        evaluated = 0
+        pruned = 0
+        rejected = 0
+
+        executor: Optional[ProcessPoolExecutor] = None
+        try:
+            if self.split_counts:
+                if self.workers is not None:
+                    # Deep graphs recurse when pickled (tensor -> producer
+                    # -> inputs -> ...); raise the limit in both the
+                    # submitting process and the workers.
+                    limit = max(
+                        sys.getrecursionlimit(), 8 * working.num_ops + 1000
+                    )
+                    sys.setrecursionlimit(limit)
+                    executor = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        initializer=_worker_init,
+                        initargs=(limit,),
+                    )
+                bounds = _SearchBounds(cache) if self.prune else None
+                cp_ops = self._placement_critical_path(
+                    working, best, cache=cache
+                )
+                if self.max_candidate_ops is not None:
+                    cp_ops = cp_ops[: self.max_candidate_ops]
+                for op_name in cp_ops:
+                    if op_name not in working:
+                        continue  # consumed by an earlier committed split
+                    op = working.get_op(op_name)
+                    if not op.is_splittable:
+                        continue
+                    outcome = self._evaluate_op(
+                        working, op, cache, bounds, best.finish_time, executor
+                    )
+                    evaluated += outcome.evaluated
+                    pruned += outcome.pruned
+                    if outcome.attempted == 0:
+                        continue  # no structurally possible split
+                    if (
+                        outcome.best is not None
+                        and outcome.best[1].finish_time < best.finish_time
+                    ):
+                        decision, result = outcome.best
+                        txn = SplitTransaction(
+                            working, op, decision.dim, decision.num_splits
+                        )
+                        txn.apply()
+                        cache.invalidate(txn.commit())
+                        split_list.append(decision)
+                        best = result
+                        if self.prune:
+                            bounds = _SearchBounds(cache)
+                    else:
+                        rejected += 1
+                        break  # first non-improving CP op stops the search
+        finally:
+            if executor is not None:
+                executor.shutdown()
+
+        return self._package(
+            working, best, split_list, evaluated, rejected, pruned
+        )
+
+    def _evaluate_op(
+        self,
+        working: Graph,
+        op: Operation,
+        cache: CostCache,
+        bounds: Optional[_SearchBounds],
+        incumbent: float,
+        executor: Optional[ProcessPoolExecutor],
+    ) -> _OpOutcome:
+        """Apply/evaluate/undo every (dim, count) candidate of one op.
+
+        With an ``executor``, candidates that survive the bound check are
+        fanned out to worker processes; results are reduced in submission
+        order so tie-breaking matches the serial path exactly.
+        """
+        best: Optional[Tuple[SplitDecision, DPOSResult]] = None
+        evaluated = 0
+        pruned = 0
+        attempted = 0
+        survivors: List[Tuple[str, int]] = []
+        for dim, count in itertools.product(
+            sorted(op.split_dims), self.split_counts
+        ):
+            txn = SplitTransaction(working, op, dim, count)
+            try:
+                txn.apply()
+            except SplitError:
+                cache.invalidate(txn.touched)
+                continue  # extent too small for this count, etc.
+            cache.invalidate(txn.touched)
+            attempted += 1
+            if bounds is not None:
+                # A candidate is hopeless once it provably cannot *strictly*
+                # beat the incumbent finish time (required to commit) or the
+                # best sibling candidate seen so far (required to win the
+                # op-best race; ties keep the earlier candidate, matching
+                # the naive path's strict-< selection).  Skip its DPOS
+                # rerun entirely.
+                threshold = incumbent
+                if best is not None and best[1].finish_time < threshold:
+                    threshold = best[1].finish_time
+                if self._candidate_lower_bound(txn, bounds, cache) >= threshold:
+                    pruned += 1
+                    cache.invalidate(txn.undo())
+                    continue
+            if executor is not None:
+                cache.invalidate(txn.undo())
+                survivors.append((dim, count))
+                continue
+            result = self.dpos.run(working, cost_cache=cache)
+            evaluated += 1
+            cache.invalidate(txn.undo())
+            if best is None or result.finish_time < best[1].finish_time:
+                best = (txn.decision, result)
+        if executor is not None and survivors:
+            futures = [
+                executor.submit(
+                    _evaluate_candidate, self.dpos, working, op.name, dim, count
+                )
+                for dim, count in survivors
+            ]
+            for (dim, count), future in zip(survivors, futures):
+                result = future.result()
+                if result is None:
+                    continue
+                evaluated += 1
+                if best is None or result.finish_time < best[1].finish_time:
+                    decision = SplitDecision(
+                        op_name=op.name, dim=dim, num_splits=count
+                    )
+                    best = (decision, result)
+        return _OpOutcome(best, evaluated, pruned, attempted)
+
+    def _candidate_lower_bound(
+        self, txn: SplitTransaction, bounds: _SearchBounds, cache: CostCache
+    ) -> float:
+        """O(split size) lower bound on an applied candidate's finish time.
+
+        Scores only the nodes the split created.  Their down-chains run
+        through pre-existing *ancestors*, whose committed ``down`` values
+        are still exact (the rewrite leaves their ancestry untouched);
+        their up-chains run through pre-existing *descendants*, whose
+        ``up`` values are likewise still exact.  Pre-existing nodes are
+        never scored directly — an ancestor's ``up`` and a descendant's
+        ``down`` are stale after the rewrite.
+        """
+        down: Dict[str, float] = {}
+        up: Dict[str, float] = {}
+
+        def local_down(op: Operation) -> float:
+            value = bounds.down.get(op.name)
+            if value is None:
+                value = down.get(op.name)
+            if value is not None:
+                return value
+            best = 0.0
+            for pred in cache.predecessors(op):
+                if cache.weight(pred) > 0.0:
+                    d = local_down(pred)
+                    if d > best:
+                        best = d
+            value = down[op.name] = best + cache.min_weight(op)
+            return value
+
+        def local_up(op: Operation) -> float:
+            value = bounds.up.get(op.name)
+            if value is None:
+                value = up.get(op.name)
+            if value is not None:
+                return value
+            tail = 0.0
+            if cache.weight(op) > 0.0:
+                for succ in cache.successors(op):
+                    u = local_up(succ)
+                    if u > tail:
+                        tail = u
+            value = up[op.name] = tail + cache.min_weight(op)
+            return value
+
+        new_nodes: Dict[str, Operation] = {}
+        for piece in txn.sub_ops:
+            for node in (
+                piece, *cache.predecessors(piece), *cache.successors(piece)
+            ):
+                if node.name not in bounds.down:
+                    new_nodes[node.name] = node
+        bound = 0.0
+        for node in new_nodes.values():
+            value = local_down(node) - cache.min_weight(node) + local_up(node)
+            if value > bound:
+                bound = value
+        return bound
+
+    # ------------------------------------------------------------------
+    def _package(
+        self,
+        graph: Graph,
+        best: DPOSResult,
+        split_list: List[SplitDecision],
+        evaluated: int,
+        rejected: int,
+        pruned: int,
+    ) -> OSDPOSResult:
+        strategy = Strategy(
+            placement=dict(best.strategy.placement),
+            order=list(best.strategy.order),
+            split_list=split_list,
+            estimated_time=best.finish_time,
+            label="os-dpos" if split_list else "dpos",
+        )
+        return OSDPOSResult(
+            graph=graph,
+            strategy=strategy,
+            finish_time=best.finish_time,
+            dpos_result=best,
+            candidates_evaluated=evaluated,
+            splits_rejected=rejected,
+            candidates_pruned=pruned,
+        )
+
+    # ------------------------------------------------------------------
+    def _placement_critical_path(
+        self,
+        graph: Graph,
+        result: DPOSResult,
+        cache: Optional[CostCache] = None,
+    ) -> List[str]:
+        """Critical path under the committed placement (Alg. 2 lines 4-5).
+
+        Ranks are recomputed with the *assigned-device* computation time
+        and the *assigned-pair* communication time, then the path is
+        sorted by decreasing computation time on the assigned device.
+        """
+        placement = result.strategy.placement
+
+        if cache is not None:
+            def weight(op: Operation) -> float:
+                return cache.time(op, placement[op.name])
+
+            def comm(src: Operation, dst: Operation) -> float:
+                return cache.pair_time(
+                    placement[src.name],
+                    placement[dst.name],
+                    cache.edge_bytes(src, dst),
+                )
+
+            ranks = compute_ranks(
+                graph, weight, comm,
+                order=cache.topological_order(),
+                successors=cache.successors,
+            )
+            path = critical_path(graph, ranks, successors=cache.successors)
+        else:
+            computation = self.dpos.computation
+            communication = self.dpos.communication
+
+            def weight(op: Operation) -> float:
+                return computation.time(op, placement[op.name])
+
+            def comm(src: Operation, dst: Operation) -> float:
+                return communication.time(
+                    placement[src.name],
+                    placement[dst.name],
+                    graph.edge_bytes(src, dst),
+                )
+
+            ranks = compute_ranks(graph, weight, comm)
+            path = critical_path(graph, ranks)
+        return [
+            op.name
+            for op in sorted(path, key=lambda o: -weight(o))
+            if weight(op) > 0.0
+        ]

@@ -11,9 +11,9 @@ path (greedy max-rank chain from the max-rank entry op).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
-from ..costmodel import CommunicationCostModel, ComputationCostModel
+from ..costmodel import CommunicationCostModel, ComputationCostModel, CostCache
 from ..graph import Graph, Operation
 
 #: (op) -> execution-time estimate used as ``w_i``.
@@ -48,40 +48,66 @@ def max_comm_fn(
     return comm
 
 
+def cached_weight_fn(cache: CostCache) -> WeightFn:
+    """``w_i`` served from a :class:`~repro.costmodel.CostCache`."""
+    return cache.weight
+
+
+def cached_comm_fn(cache: CostCache) -> CommFn:
+    """``c_ij`` served from a :class:`~repro.costmodel.CostCache`."""
+    return cache.edge_comm
+
+
 def compute_ranks(
-    graph: Graph, weight: WeightFn, comm: CommFn
+    graph: Graph,
+    weight: WeightFn,
+    comm: CommFn,
+    order: Optional[Sequence[Operation]] = None,
+    successors: Optional[Callable[[Operation], List[Operation]]] = None,
 ) -> Dict[str, float]:
-    """Upward rank of every op, via one reverse-topological sweep."""
+    """Upward rank of every op, via one reverse-topological sweep.
+
+    ``order`` (any topological order) and ``successors`` may be supplied
+    to reuse memoized traversal state; the resulting values are identical
+    either way.
+    """
+    if order is None:
+        order = graph.topological_order()
+    successors_of = successors if successors is not None else graph.successors
     ranks: Dict[str, float] = {}
-    for op in reversed(graph.topological_order()):
-        successors = graph.successors(op)
-        if not successors:
+    for op in reversed(order):
+        succs = successors_of(op)
+        if not succs:
             ranks[op.name] = weight(op)
             continue
-        best = max(comm(op, succ) + ranks[succ.name] for succ in successors)
+        best = max(comm(op, succ) + ranks[succ.name] for succ in succs)
         ranks[op.name] = weight(op) + best
     return ranks
 
 
 def critical_path(
-    graph: Graph, ranks: Dict[str, float]
+    graph: Graph,
+    ranks: Dict[str, float],
+    successors: Optional[Callable[[Operation], List[Operation]]] = None,
 ) -> List[Operation]:
     """The max-rank chain from the max-rank entry op to an exit op.
 
     This follows the paper: select the entry operation (the highest-rank
     one, which heads the overall critical path), then repeatedly step to
-    the successor with the largest rank.
+    the successor with the largest rank.  Ties break by op name, so the
+    path is a pure function of the graph's content.
     """
     entries = graph.entry_ops()
     if not entries:
         raise ValueError("graph has no entry operations")
+    successors_of = successors if successors is not None else graph.successors
     current = max(entries, key=lambda op: (ranks[op.name], op.name))
     path = [current]
     while True:
-        successors = graph.successors(current)
-        if not successors:
+        succs = successors_of(current)
+        if not succs:
             return path
-        current = max(successors, key=lambda op: (ranks[op.name], op.name))
+        current = max(succs, key=lambda op: (ranks[op.name], op.name))
         path.append(current)
 
 

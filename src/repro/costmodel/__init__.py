@@ -1,5 +1,6 @@
 """FastT's adaptive cost models, fitted from profiled step traces."""
 
+from .cache import CostCache
 from .communication import CommunicationCostModel
 from .oracle import OracleCommunicationModel, OracleComputationModel
 from .computation import BANDWIDTH_BOUND_TYPES, ComputationCostModel
@@ -8,6 +9,7 @@ from .stability import StabilityMonitor
 __all__ = [
     "BANDWIDTH_BOUND_TYPES",
     "CommunicationCostModel",
+    "CostCache",
     "OracleCommunicationModel",
     "OracleComputationModel",
     "ComputationCostModel",

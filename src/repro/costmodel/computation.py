@@ -16,7 +16,7 @@ only from profiled step traces.  Three lookup tiers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 from ..graph import Operation

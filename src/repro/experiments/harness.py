@@ -231,6 +231,8 @@ def run_fastt_trial(
         result.devices_used = len(report.strategy.devices_used())
         result.extra["strategy_label"] = report.strategy.label
         result.extra["rounds"] = len(report.rounds)
+        result.extra["candidates_evaluated"] = report.candidates_evaluated
+        result.extra["candidates_pruned"] = report.candidates_pruned
     except SimulationOOMError:
         result.oom = True
     return result
@@ -312,7 +314,9 @@ def trial(
         "batch": batch,
         "preset": preset,
         "seed": seed,
-        "version": 4,
+        # v5: canonical topological tie-breaking + all-ops finish time in
+        # DPOS changed some strategies; stale v4 entries must not mix in.
+        "version": 5,
     }
     runner = _RUNNERS[method]
     return cached_trial(

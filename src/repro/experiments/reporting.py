@@ -8,7 +8,7 @@ available.  Benchmarks call these with ``print`` output enabled so
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 
 def format_table(

@@ -24,7 +24,13 @@ from .data_parallel import (
     replica_index_of,
     replica_prefix,
 )
-from .rewrite import SplitDecision, SplitError, apply_split_list, split_operation
+from .rewrite import (
+    SplitDecision,
+    SplitError,
+    SplitTransaction,
+    apply_split_list,
+    split_operation,
+)
 from .graph import Graph, GraphError
 from .ops import (
     NotDifferentiableError,
@@ -47,6 +53,7 @@ __all__ = [
     "ReplicatedGraphInfo",
     "SplitDecision",
     "SplitError",
+    "SplitTransaction",
     "apply_split_list",
     "build_data_parallel_training_graph",
     "build_single_device_training_graph",

@@ -16,7 +16,6 @@ from typing import Callable, Dict, List, Optional, Sequence
 from .autodiff import gradients, prune_dangling
 from .graph import Graph, GraphError
 from .op_library import split_sizes
-from .ops import Operation
 from .tensor import Tensor
 
 #: A model builder emits one tower of the forward graph into ``graph``

@@ -9,9 +9,9 @@ mutation helpers so consumer bookkeeping stays consistent.
 
 from __future__ import annotations
 
-import itertools
+import heapq
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .ops import Operation, get_spec
 from .tensor import Tensor
@@ -19,6 +19,10 @@ from .tensor import Tensor
 
 class GraphError(RuntimeError):
     """Raised on structural violations (cycles, duplicate names, ...)."""
+
+
+#: Journal entry kinds of an open transaction (see :meth:`Graph.begin_transaction`).
+_CREATE, _REPLACE, _REMOVE = "create", "replace", "remove"
 
 
 class Graph:
@@ -30,7 +34,10 @@ class Graph:
         self._tensors: Dict[str, Tensor] = {}
         # tensor name -> list of (consumer op, input index)
         self._consumers: Dict[str, List[Tuple[Operation, int]]] = {}
-        self._name_counter = itertools.count()
+        self._name_counter = 0
+        # Open mutation journal; None outside a transaction.
+        self._txn: Optional[List[tuple]] = None
+        self._txn_name_counter = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -76,6 +83,8 @@ class Graph:
         self._ops[name] = op
         for idx, t in enumerate(inputs):
             self._consumers[t.name].append((op, idx))
+        if self._txn is not None:
+            self._txn.append((_CREATE, op))
         return op
 
     def unique_name(self, prefix: str) -> str:
@@ -83,7 +92,8 @@ class Graph:
         if prefix not in self._ops:
             return prefix
         while True:
-            candidate = f"{prefix}_{next(self._name_counter)}"
+            candidate = f"{prefix}_{self._name_counter}"
+            self._name_counter += 1
             if candidate not in self._ops:
                 return candidate
 
@@ -164,20 +174,38 @@ class Graph:
     # ------------------------------------------------------------------
     # Traversal / validation
     # ------------------------------------------------------------------
-    def topological_order(self) -> List[Operation]:
-        """Kahn's algorithm; raises :class:`GraphError` on a cycle."""
+    def topological_order(self, canonical: bool = False) -> List[Operation]:
+        """Kahn's algorithm; raises :class:`GraphError` on a cycle.
+
+        With ``canonical=True`` the ready set is drained in op-name order
+        (a min-heap), making the result a pure function of the graph's
+        *content*, independent of insertion order.  The strategy search
+        relies on this so that an in-place-mutated graph and a structural
+        copy of it order-tie-break identically.
+        """
         indegree: Dict[str, int] = {}
         for op in self:
             indegree[op.name] = len(self.predecessors(op))
-        ready = deque(op for op in self if indegree[op.name] == 0)
         order: List[Operation] = []
-        while ready:
-            op = ready.popleft()
-            order.append(op)
-            for succ in self.successors(op):
-                indegree[succ.name] -= 1
-                if indegree[succ.name] == 0:
-                    ready.append(succ)
+        if canonical:
+            heap = [op.name for op in self if indegree[op.name] == 0]
+            heapq.heapify(heap)
+            while heap:
+                op = self._ops[heapq.heappop(heap)]
+                order.append(op)
+                for succ in self.successors(op):
+                    indegree[succ.name] -= 1
+                    if indegree[succ.name] == 0:
+                        heapq.heappush(heap, succ.name)
+        else:
+            ready = deque(op for op in self if indegree[op.name] == 0)
+            while ready:
+                op = ready.popleft()
+                order.append(op)
+                for succ in self.successors(op):
+                    indegree[succ.name] -= 1
+                    if indegree[succ.name] == 0:
+                        ready.append(succ)
         if len(order) != len(self._ops):
             raise GraphError(
                 f"graph {self.name!r} contains a cycle "
@@ -215,6 +243,18 @@ class Graph:
         if self._tensors.get(new_tensor.name) is not new_tensor:
             raise GraphError(f"tensor {new_tensor.name!r} is not in this graph")
         old = op.inputs[index]
+        if self._txn is not None:
+            self._txn.append(
+                (
+                    _REPLACE,
+                    op,
+                    index,
+                    old,
+                    new_tensor,
+                    list(self._consumers[old.name]),
+                    list(self._consumers[new_tensor.name]),
+                )
+            )
         pairs = self._consumers[old.name]
         self._consumers[old.name] = [
             (c, i) for c, i in pairs if not (c is op and i == index)
@@ -230,6 +270,13 @@ class Graph:
                     f"cannot remove {op.name!r}: output {t.name!r} still has "
                     f"consumers"
                 )
+        if self._txn is not None:
+            position = list(self._ops).index(op.name)
+            saved = {
+                t.name: list(self._consumers[t.name])
+                for t in {t.name: t for t in op.inputs}.values()
+            }
+            self._txn.append((_REMOVE, op, position, saved))
         for idx, t in enumerate(op.inputs):
             pairs = self._consumers[t.name]
             self._consumers[t.name] = [
@@ -253,6 +300,112 @@ class Graph:
                 colocation_group=op.colocation_group,
             )
         return clone
+
+    # ------------------------------------------------------------------
+    # Transactions (apply/undo for speculative rewrites)
+    # ------------------------------------------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    def begin_transaction(self) -> None:
+        """Start journaling mutations so they can be rolled back exactly.
+
+        While a transaction is open, :meth:`create_op`,
+        :meth:`replace_input`, and :meth:`remove_op` record undo
+        information; :meth:`rollback_transaction` then restores the graph
+        byte-for-byte (op iteration order, consumer-list order, and object
+        identity included), in time proportional to the number of
+        journaled mutations — not the graph size.  This is what lets
+        OS-DPOS evaluate a split candidate in place instead of deep
+        copying the whole graph.
+        """
+        if self._txn is not None:
+            raise GraphError("a transaction is already open (no nesting)")
+        self._txn = []
+        self._txn_name_counter = self._name_counter
+
+    def _txn_touched(self, entries: List[tuple]) -> Set[str]:
+        """Ops whose structure (attrs or adjacency) a journal touched."""
+        touched: Set[str] = set()
+        for entry in entries:
+            kind, op = entry[0], entry[1]
+            touched.add(op.name)
+            if kind == _REPLACE:
+                for tensor in (entry[3], entry[4]):
+                    if tensor.producer is not None:
+                        touched.add(tensor.producer.name)
+            else:  # create / remove change the producers' successor sets
+                for tensor in op.inputs:
+                    if tensor.producer is not None:
+                        touched.add(tensor.producer.name)
+        return touched
+
+    def transaction_touched(self) -> Set[str]:
+        """Touched-op set of the open transaction so far.
+
+        Same contract as the :meth:`commit_transaction` return value, but
+        readable mid-transaction — callers invalidate per-op caches right
+        after applying a speculative rewrite, before evaluating it.
+        """
+        if self._txn is None:
+            raise GraphError("no open transaction")
+        return self._txn_touched(self._txn)
+
+    def commit_transaction(self) -> Set[str]:
+        """Close the open transaction, keeping every mutation.
+
+        Returns the names of ops whose structure or adjacency changed
+        (created, removed, or rewired ops plus their direct producers) so
+        callers can invalidate per-op caches.
+        """
+        if self._txn is None:
+            raise GraphError("no open transaction to commit")
+        entries, self._txn = self._txn, None
+        return self._txn_touched(entries)
+
+    def rollback_transaction(self) -> Set[str]:
+        """Undo every mutation of the open transaction, newest first.
+
+        Returns the same touched-op set as :meth:`commit_transaction`
+        would have.
+        """
+        if self._txn is None:
+            raise GraphError("no open transaction to roll back")
+        entries, self._txn = self._txn, None
+        touched = self._txn_touched(entries)
+        # Restore the name counter so a rolled-back rewrite, re-applied to
+        # the restored graph, generates exactly the same op names.
+        self._name_counter = self._txn_name_counter
+        for entry in reversed(entries):
+            kind = entry[0]
+            if kind == _CREATE:
+                op = entry[1]
+                for idx, t in enumerate(op.inputs):
+                    pairs = self._consumers[t.name]
+                    self._consumers[t.name] = [
+                        (c, i) for c, i in pairs if not (c is op and i == idx)
+                    ]
+                for t in op.outputs:
+                    del self._tensors[t.name]
+                    del self._consumers[t.name]
+                del self._ops[op.name]
+            elif kind == _REPLACE:
+                _, op, index, old, new, old_pairs, new_pairs = entry
+                op.inputs[index] = old
+                self._consumers[old.name] = old_pairs
+                self._consumers[new.name] = new_pairs
+            else:  # _REMOVE: reinsert at the original position
+                _, op, position, saved = entry
+                items = list(self._ops.items())
+                items.insert(position, (op.name, op))
+                self._ops = dict(items)
+                for t in op.outputs:
+                    self._tensors[t.name] = t
+                    self._consumers[t.name] = []
+                for tensor_name, pairs in saved.items():
+                    self._consumers[tensor_name] = pairs
+        return touched
 
     # ------------------------------------------------------------------
     # Colocation

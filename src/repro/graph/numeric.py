@@ -16,7 +16,7 @@ import numpy as np
 
 from .graph import Graph, GraphError
 from .ops import Operation
-from .tensor import DTYPE_SIZES, Tensor
+from .tensor import Tensor
 
 
 class UnsupportedOpError(NotImplementedError):

@@ -16,10 +16,10 @@ Conventions
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from .ops import OpSpec, Operation, SplitDimSpec, register_op
-from .tensor import DTYPE_SIZES, ShapeError, Tensor
+from .tensor import ShapeError, Tensor
 
 Shape = Tuple[int, ...]
 

@@ -10,12 +10,12 @@ preserves training semantics (verified numerically in the test suite via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Set
 
-from .graph import Graph, GraphError
+from .graph import Graph
 from .op_library import split_sizes
 from .ops import Operation, SplitDimSpec
-from .tensor import ShapeError, Tensor
+from .tensor import Tensor
 
 
 class SplitError(RuntimeError):
@@ -193,6 +193,75 @@ def _merge_outputs(
             )
         for consumer, input_idx in consumers:
             graph.replace_input(consumer, input_idx, concat.outputs[0])
+
+
+class SplitTransaction:
+    """One speculative split with O(split size) apply/undo.
+
+    Wraps :func:`split_operation` in a graph transaction so OS-DPOS can
+    evaluate a candidate by mutating the working graph in place and
+    rolling the mutation back, instead of deep-copying the whole graph
+    per candidate.  ``touched`` (populated by :meth:`apply`,
+    :meth:`undo`, and :meth:`commit` — and by a failed apply) names every
+    op whose structure or adjacency the split changed, for cache
+    invalidation.
+
+    Usage::
+
+        txn = SplitTransaction(graph, op, dim, num_splits)
+        sub_ops = txn.apply()      # raises SplitError (graph restored)
+        ...evaluate the candidate...
+        txn.undo()                 # or txn.commit() to keep the split
+    """
+
+    def __init__(
+        self, graph: Graph, op: Operation, dim: str, num_splits: int
+    ) -> None:
+        self.graph = graph
+        self.op = op
+        self.dim = dim
+        self.num_splits = num_splits
+        self.sub_ops: List[Operation] = []
+        self.touched: Set[str] = set()
+        self._open = False
+
+    @property
+    def decision(self) -> SplitDecision:
+        return SplitDecision(
+            op_name=self.op.name, dim=self.dim, num_splits=self.num_splits
+        )
+
+    def apply(self) -> List[Operation]:
+        """Apply the split; on :class:`SplitError` the graph is restored."""
+        self.graph.begin_transaction()
+        try:
+            self.sub_ops = split_operation(
+                self.graph, self.op, self.dim, self.num_splits
+            )
+        except Exception:
+            self.touched |= self.graph.rollback_transaction()
+            raise
+        self._open = True
+        self.touched |= self.graph.transaction_touched()
+        return self.sub_ops
+
+    def undo(self) -> Set[str]:
+        """Roll the applied split back; returns the touched op names."""
+        if not self._open:
+            raise RuntimeError("no applied split to undo")
+        self._open = False
+        touched = self.graph.rollback_transaction()
+        self.touched |= touched
+        return touched
+
+    def commit(self) -> Set[str]:
+        """Keep the applied split; returns the touched op names."""
+        if not self._open:
+            raise RuntimeError("no applied split to commit")
+        self._open = False
+        touched = self.graph.commit_transaction()
+        self.touched |= touched
+        return touched
 
 
 def apply_split_list(graph: Graph, decisions: List[SplitDecision]) -> Graph:

@@ -8,8 +8,7 @@ reuse one builder under different prefixes) and the usual layer idioms
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..graph import Graph, Tensor
 

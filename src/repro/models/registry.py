@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from ..graph import ModelBuilder
 from .alexnet import build_alexnet

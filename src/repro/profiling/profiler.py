@@ -10,7 +10,7 @@ regression.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence
 
 from ..costmodel import CommunicationCostModel, ComputationCostModel
 from ..graph import Graph

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..cluster import Topology
 from ..graph import Graph, Operation
@@ -139,7 +140,7 @@ class _StepState:
         }
         self.device_busy: Dict[str, bool] = {d: False for d in self.device_names}
         self.channel_busy: Dict[str, bool] = {}
-        self.channel_queue: Dict[str, List[_Transfer]] = {}
+        self.channel_queue: Dict[str, Deque[_Transfer]] = {}
         self.events: List[Tuple[float, int, str, object]] = []
         self.seq = itertools.count()
         self.trace = StepTrace()
@@ -247,7 +248,7 @@ class _StepState:
     def _enqueue_transfer(self, transfer: _Transfer, time: float) -> None:
         channel = self.sim.topology.link(transfer.src, transfer.dst).shared_channel
         if self.channel_busy.get(channel):
-            self.channel_queue.setdefault(channel, []).append(transfer)
+            self.channel_queue.setdefault(channel, deque()).append(transfer)
         else:
             self._start_transfer(channel, transfer, time)
 
@@ -286,6 +287,6 @@ class _StepState:
         self._mark_available(transfer.tensor_name, transfer.dst, time)
         queue = self.channel_queue.get(channel)
         if queue:
-            self._start_transfer(channel, queue.pop(0), time)
+            self._start_transfer(channel, queue.popleft(), time)
         else:
             self.channel_busy[channel] = False

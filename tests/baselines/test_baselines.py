@@ -9,7 +9,6 @@ from repro.baselines import (
     PostConfig,
     ReinforceConfig,
     build_data_parallel_baseline,
-    data_parallel_strategy,
     flexflow_search,
     gdp_placement,
     model_parallel_strategy,

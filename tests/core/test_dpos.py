@@ -5,7 +5,6 @@ import pytest
 from repro.cluster import single_server
 from repro.core import DPOS
 from repro.costmodel import (
-    ComputationCostModel,
     OracleCommunicationModel,
     OracleComputationModel,
 )

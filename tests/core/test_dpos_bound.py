@@ -7,7 +7,6 @@ by exhaustive search over active schedules, then check DPOS's estimated
 finish time against the bound.
 """
 
-import itertools
 from typing import Dict, List
 
 import pytest

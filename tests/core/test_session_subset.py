@@ -6,7 +6,6 @@ alternative-input mechanism: the single-model DAG competes with the
 data-parallel replication in every strategy round.
 """
 
-import pytest
 
 from repro.cluster import single_server
 from repro.core import FastTConfig, FastTSession

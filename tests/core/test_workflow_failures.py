@@ -7,12 +7,10 @@ strategy (the paper's rollback guarantee).
 
 import pytest
 
-from repro.cluster import single_server
 from repro.core import FastTConfig, Strategy, StrategyCalculator
 from repro.core.calculator import CalculationReport
 from repro.graph import build_data_parallel_training_graph, data_parallel_placement
 from repro.hardware import PerfModel
-from repro.sim import SimulationOOMError
 
 from tests.util import build_mlp
 

@@ -1,7 +1,6 @@
 """Tests for the experiment harness, caching, and reporting."""
 
 import math
-import os
 
 import pytest
 

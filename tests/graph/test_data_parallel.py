@@ -3,7 +3,6 @@
 import pytest
 
 from repro.graph import (
-    Graph,
     GraphError,
     build_data_parallel_training_graph,
     build_single_device_training_graph,

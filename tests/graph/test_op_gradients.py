@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graph import Graph, NotDifferentiableError, get_spec
+from repro.graph import Graph, NotDifferentiableError
 
 
 @pytest.fixture

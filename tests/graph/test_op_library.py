@@ -1,6 +1,5 @@
 """Unit tests for the concrete op specs: shapes, FLOPs, split specs."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

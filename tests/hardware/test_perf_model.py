@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cluster import single_server
 from repro.graph import Graph
 from repro.hardware import PerfModel
 

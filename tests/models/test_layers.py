@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graph import Graph, ShapeError
+from repro.graph import Graph
 from repro.models import LayerHelper
 
 

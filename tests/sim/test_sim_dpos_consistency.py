@@ -13,7 +13,7 @@ from hypothesis import given, settings, strategies as st
 from repro.cluster import single_server
 from repro.core import DPOS
 from repro.costmodel import OracleCommunicationModel, OracleComputationModel
-from repro.graph import Graph, build_data_parallel_training_graph
+from repro.graph import build_data_parallel_training_graph
 from repro.hardware import PerfModel
 from repro.sim import ExecutionSimulator
 
