@@ -10,7 +10,7 @@ the profiling/regression pipeline captures what the scheduler needs.
 
 from __future__ import annotations
 
-from conftest import label
+from conftest import export_rows, label, models_under_test
 
 from repro.cluster import single_server
 from repro.core import DPOS
@@ -28,7 +28,7 @@ from repro.models import get_model
 from repro.profiling import Profiler
 from repro.sim import ExecutionSimulator
 
-MODELS = ("vgg19", "rnnlm", "bert_large")
+MODELS = models_under_test(("vgg19", "rnnlm", "bert_large"))
 GPUS = 4
 
 
@@ -85,6 +85,7 @@ def test_ablation_cost_model_quality(benchmark):
             title="Ablation: learned vs oracle cost models (4 GPUs, measured)",
         )
     )
+    export_rows("ablation_costmodel", headers, rows)
     for row in rows:
         assert row[3] < 50.0, (
             f"{row[0]}: learned cost models {row[3]:.0f}% worse than oracle"

@@ -9,7 +9,7 @@ finish time, and typically wins on branchy graphs (Inception).
 
 from __future__ import annotations
 
-from conftest import label
+from conftest import export_rows, label, models_under_test
 
 from repro.cluster import single_server
 from repro.core import DPOS
@@ -19,7 +19,7 @@ from repro.graph import build_data_parallel_training_graph
 from repro.hardware import PerfModel
 from repro.models import get_model
 
-MODELS = ("inception_v3", "vgg19", "gnmt")
+MODELS = models_under_test(("inception_v3", "vgg19", "gnmt"))
 GPUS = 4
 
 
@@ -63,6 +63,7 @@ def test_ablation_insertion_scheduling(benchmark):
             headers, rows, title="Ablation: DPOS idle-slot insertion (4 GPUs)"
         )
     )
+    export_rows("ablation_insertion", headers, rows)
     for row in rows:
         assert row[2] <= row[1] * 1.0001, (
             f"{row[0]}: insertion produced a worse schedule"

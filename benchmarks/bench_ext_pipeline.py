@@ -11,7 +11,7 @@ model parallelism (= one micro-batch) and data parallelism.
 
 from __future__ import annotations
 
-from conftest import label
+from conftest import export_rows, label, models_under_test
 
 from repro.baselines import build_pipeline_strategy
 from repro.cluster import single_server
@@ -20,7 +20,7 @@ from repro.experiments.reporting import format_table
 from repro.hardware import PerfModel
 from repro.models import get_model
 
-MODELS = ("vgg19", "bert_large")
+MODELS = models_under_test(("vgg19", "bert_large"))
 MICROBATCHES = (1, 2, 4, 8)
 GPUS = 4
 
@@ -55,6 +55,7 @@ def test_ext_pipeline_microbatching(benchmark):
                   "(m=1 is plain model parallelism)",
         )
     )
+    export_rows("ext_pipeline", headers, rows)
     for row in rows:
         m1, m8 = row[2], row[-1]
         assert m8 < m1, f"{row[0]}: pipelining failed to shrink the bubble"

@@ -8,13 +8,13 @@ execution order enforced through priorities.  The paper reports up to
 
 from __future__ import annotations
 
-from conftest import label
+from conftest import export_rows, label, models_under_test
 
 from repro.experiments import order_enforcement_comparison
 from repro.experiments.paper_reference import FIG2_MAX_ORDER_GAIN
 from repro.experiments.reporting import format_table
 
-MODELS = ("alexnet", "vgg19", "lenet", "resnet200")
+MODELS = models_under_test(("alexnet", "vgg19", "lenet", "resnet200"))
 
 
 def compute_fig2():
@@ -46,6 +46,7 @@ def test_fig2_order_enforcement(benchmark):
             ),
         )
     )
+    export_rows("fig2", headers, rows)
     # Enforcement should never make things substantially worse.
     for row in rows:
         assert row[3] > -5.0, f"{row[0]}: order enforcement {row[3]:.1f}% slower"

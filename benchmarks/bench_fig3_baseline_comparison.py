@@ -12,7 +12,7 @@ edge FastT out given budget.
 
 from __future__ import annotations
 
-from conftest import label
+from conftest import export_rows, label, models_under_test
 
 from repro.baselines import (
     flexflow_search,
@@ -27,7 +27,7 @@ from repro.graph import build_single_device_training_graph
 from repro.hardware import PerfModel
 from repro.models import get_model
 
-MODELS = ("inception_v3", "resnet200", "gnmt", "rnnlm")
+MODELS = models_under_test(("inception_v3", "resnet200", "gnmt", "rnnlm"))
 GPU_COUNTS = (2, 4, 8)
 
 
@@ -93,6 +93,7 @@ def test_fig3_baseline_comparison(benchmark):
             title="Fig. 3: speed normalized by data parallelism (higher is better)",
         )
     )
+    export_rows("fig3", headers, rows)
     # Shape: FastT beats each placement-only proxy in most cells.
     wins = sum(
         1

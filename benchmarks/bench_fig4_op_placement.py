@@ -8,12 +8,12 @@ while compute-heavy operations spread out.
 
 from __future__ import annotations
 
-from conftest import label
+from conftest import export_rows, label, models_under_test
 
 from repro.experiments import trial
 from repro.experiments.reporting import format_table
 
-MODELS = ("alexnet", "vgg19", "lenet")
+MODELS = models_under_test(("alexnet", "vgg19", "lenet"))
 GPU_COUNTS = (2, 4)
 
 
@@ -44,6 +44,7 @@ def test_fig4_op_placement(benchmark):
             title="Fig. 4: operations per GPU under FastT",
         )
     )
+    export_rows("fig4", headers, padded)
     for row in rows:
         counts = [c for c in row[2:-1] if isinstance(c, int)]
         assert sum(counts) == row[-1]

@@ -9,12 +9,12 @@ their sum.
 
 from __future__ import annotations
 
-from conftest import label
+from conftest import export_rows, label, models_under_test
 
 from repro.experiments import trial
 from repro.experiments.reporting import format_table
 
-MODELS = ("vgg19", "resnet200", "alexnet", "lenet")
+MODELS = models_under_test(("vgg19", "resnet200", "alexnet", "lenet"))
 GPUS = 2
 
 
@@ -47,6 +47,7 @@ def test_fig5_time_breakdown(benchmark):
             title="Fig. 5: average computation and memcpy time per iteration (2 GPUs)",
         )
     )
+    export_rows("fig5", headers, rows)
     pairs = {}
     for row in rows:
         pairs.setdefault(row[0], {})[row[1]] = row

@@ -9,7 +9,7 @@ the paper's speed-up metric: FastT over the best DP configuration.
 
 from __future__ import annotations
 
-from conftest import label
+from conftest import export_rows, label
 
 from repro.experiments import trial
 from repro.experiments.paper_reference import TABLE1_STRONG_SCALING
@@ -54,6 +54,7 @@ def test_table1_strong_scaling(benchmark):
     ]
     print()
     print(format_table(headers, rows, title="Table 1: strong scaling (samples/s)"))
+    export_rows("table1", headers, rows)
     # Shape assertions: FastT never loses badly to DP in its best setting.
     for row in rows:
         measured = row[-2]

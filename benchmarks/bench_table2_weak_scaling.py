@@ -8,7 +8,7 @@ this reproduction) sees smaller FastT gains than under strong scaling.
 
 from __future__ import annotations
 
-from conftest import label
+from conftest import export_rows, label
 
 from repro.experiments import trial
 from repro.experiments.paper_reference import TABLE2_WEAK_SCALING
@@ -55,6 +55,7 @@ def test_table2_weak_scaling(benchmark):
     ]
     print()
     print(format_table(headers, rows, title="Table 2: weak scaling (samples/s)"))
+    export_rows("table2", headers, rows)
     for row in rows:
         measured = row[-2]
         assert measured == measured, f"no speedup computed for {row[0]}"

@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import dataclasses
 
+from conftest import export_rows
+
 from repro.cluster import Topology, V100, make_devices
-from repro.core import FastTConfig, FastTSession, Strategy
+from repro.core import FastTConfig, FastTSession, SearchOptions, Strategy
 from repro.experiments.paper_reference import TABLE3_BERT_LARGE
 from repro.experiments.reporting import format_table
 from repro.graph import (
@@ -101,8 +103,8 @@ def _dp_cell(batch: int, capacity: int):
 def _fastt_cell(batch: int, capacity: int):
     topology = _topology(2, capacity)
     config = FastTConfig(
-        max_rounds=2, min_rounds=1, max_candidate_ops=3, split_counts=[2],
-        profiling_steps=1, measure_steps=2,
+        max_rounds=2, min_rounds=1, profiling_steps=1, measure_steps=2,
+        search=SearchOptions(max_candidate_ops=3, split_counts=[2]),
     )
     try:
         session = FastTSession(
@@ -154,6 +156,7 @@ def test_table3_bert_large_batches(benchmark):
             ),
         )
     )
+    export_rows("table3", headers, rows)
     by_batch = {int(r[0].split("(")[1].rstrip(")")): r for r in rows}
     # Calibrated pattern: batch 16 fits everywhere, 32 OOMs on one GPU.
     assert by_batch[16][1] is not None, "batch 16 must fit a single GPU"

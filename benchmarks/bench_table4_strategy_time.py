@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 
-from conftest import label
+from conftest import export_rows, label
 
 from repro.cluster import cluster_for
 from repro.core import DPOS, OSDPOS
@@ -94,6 +94,7 @@ def test_search_engine_speedup(benchmark):
             ),
         )
     )
+    export_rows("table4_search_engine", headers, rows)
     for row in rows:
         assert row[3] >= SEARCH_ENGINE_MIN_SPEEDUP, (
             f"{row[0]}: incremental search only {row[3]:.2f}x faster than "
@@ -133,6 +134,7 @@ def test_table4_strategy_calculation_time(benchmark):
             headers, rows, title="Table 4: strategy computation time (s)"
         )
     )
+    export_rows("table4", headers, rows)
     by_model = {row[0]: row for row in rows}
     # Shape: cost grows with the device count, and LeNet (the smallest
     # graph) is among the cheapest models to compute strategies for.

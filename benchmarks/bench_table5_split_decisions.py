@@ -10,6 +10,8 @@ operations (tower-0 replicas, best-speed-up setting).
 
 from __future__ import annotations
 
+from conftest import export_rows
+
 from repro.experiments import optimized_session
 from repro.experiments.harness import measure_strategy, _perf_model
 from repro.experiments.paper_reference import TABLE5_VGG_SPLITS
@@ -85,6 +87,7 @@ def test_table5_split_decisions(benchmark):
             title=f"Table 5: VGG-19 split decisions ({GPUS} GPUs)",
         )
     )
+    export_rows("table5", headers, rows)
     print(f"full split list: {split_list}")
     by_name = {row[0]: row for row in rows}
     # Shape assertions mirroring the paper's reasoning:

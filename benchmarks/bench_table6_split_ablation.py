@@ -10,7 +10,7 @@ see no split at all.
 
 from __future__ import annotations
 
-from conftest import label
+from conftest import export_rows, label
 
 from repro.experiments import trial
 from repro.experiments.paper_reference import TABLE6_SPLIT_ABLATION
@@ -83,6 +83,7 @@ def test_table6_split_ablation(benchmark):
             title="Table 6: per-iteration time with/without operation split",
         )
     )
+    export_rows("table6", headers, rows)
     # The paper's structural claim: fused LSTM cells expose no split
     # dimensions, so any splits in the NMT models are attention/projection
     # MatMuls, never recurrent cells.

@@ -12,9 +12,60 @@ Run with::
 
 Results are cached under ``benchmarks/.cache`` so repeated runs are fast;
 delete that directory to force recomputation.
+
+Pass ``--trace-dir DIR`` (or set ``REPRO_TRACE_DIR``) to export, per
+trial, a Chrome-trace timeline (``*.trace.json``, loadable in
+``chrome://tracing`` / Perfetto), a metrics JSON, and a simulated-step
+trace — plus one ``<tag>.csv`` per benchmark table.  Set
+``REPRO_BENCH_MODELS=lenet,alexnet`` to restrict model sweeps (CI smoke).
 """
 
 from __future__ import annotations
+
+import os
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.experiments import harness
+from repro.obs import write_rows_csv
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-dir",
+        action="store",
+        default=os.environ.get("REPRO_TRACE_DIR"),
+        help=(
+            "Directory receiving per-trial Chrome traces, metrics JSON, "
+            "and per-table CSV exports"
+        ),
+    )
+
+
+def pytest_configure(config):
+    trace_dir = config.getoption("--trace-dir", default=None)
+    if trace_dir:
+        harness.set_trace_dir(trace_dir)
+
+
+def export_rows(
+    tag: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> Optional[str]:
+    """Write one benchmark table as ``<trace-dir>/<tag>.csv`` (if enabled)."""
+    trace_dir = harness.get_trace_dir()
+    if not trace_dir:
+        return None
+    return write_rows_csv(os.path.join(trace_dir, f"{tag}.csv"), headers, rows)
+
+
+def models_under_test(models: Sequence[str]) -> Tuple[str, ...]:
+    """Apply the ``REPRO_BENCH_MODELS`` comma-list filter to a sweep."""
+    env = os.environ.get("REPRO_BENCH_MODELS")
+    if not env:
+        return tuple(models)
+    wanted = {m.strip() for m in env.split(",") if m.strip()}
+    filtered = tuple(m for m in models if m in wanted)
+    return filtered or tuple(models)
+
 
 MODEL_LABELS = {
     "inception_v3": "Inception_v3",

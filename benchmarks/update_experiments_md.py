@@ -2,12 +2,17 @@
 
 Usage::
 
-    pytest benchmarks/ --benchmark-only -s | tee bench_output.txt
-    python benchmarks/update_experiments_md.py bench_output.txt
+    pytest benchmarks/ --benchmark-only -s --trace-dir traces | tee bench_output.txt
+    python benchmarks/update_experiments_md.py bench_output.txt [traces]
 
 Each table printed by a benchmark starts with a known title line; this
 script lifts the table block (title + header + rows) into the matching
 ``<!-- TAG -->`` placeholder of EXPERIMENTS.md as a fenced code block.
+
+When the optional trace-dir argument is given (the directory the suite's
+``--trace-dir`` flag wrote to), each injected table also gets a
+per-cell-breakdown line linking the table's raw CSV and the per-trial
+Chrome-trace timelines behind its numbers.
 """
 
 from __future__ import annotations
@@ -34,6 +39,51 @@ SECTIONS = {
         "Extension: micro-batch pipelining",
     ],
 }
+
+#: placeholder tag -> CSV files export_rows() writes for it (in order).
+CSV_FILES = {
+    "TABLE1": ["table1.csv"],
+    "TABLE2": ["table2.csv"],
+    "TABLE3": ["table3.csv"],
+    "TABLE4": ["table4_search_engine.csv", "table4.csv"],
+    "TABLE5": ["table5.csv"],
+    "TABLE6": ["table6.csv"],
+    "FIG2": ["fig2.csv"],
+    "FIG3": ["fig3.csv"],
+    "FIG4": ["fig4.csv"],
+    "FIG5": ["fig5.csv"],
+    "ABLATIONS": [
+        "ablation_insertion.csv",
+        "ablation_costmodel.csv",
+        "ext_pipeline.csv",
+    ],
+}
+
+
+def breakdown_line(tag: str, trace_dir: Path, repo_root: Path) -> str:
+    """A markdown line linking the tag's CSV(s) and the trial timelines.
+
+    Empty when nothing was exported for the tag.
+    """
+    try:
+        rel = trace_dir.resolve().relative_to(repo_root.resolve())
+    except ValueError:
+        rel = trace_dir
+    links = []
+    for name in CSV_FILES.get(tag, []):
+        if (trace_dir / name).exists():
+            links.append(f"[{name}]({rel.as_posix()}/{name})")
+    traces = sorted(trace_dir.glob("*.trace.json"))
+    if traces:
+        links.append(
+            f"{len(traces)} Chrome-trace timeline"
+            f"{'s' if len(traces) != 1 else ''} in "
+            f"[`{rel.as_posix()}/`]({rel.as_posix()}/) "
+            "(load in chrome://tracing or Perfetto)"
+        )
+    if not links:
+        return ""
+    return "\n\nPer-cell breakdowns: " + " · ".join(links)
 
 
 def extract_block(lines, start_index):
@@ -64,17 +114,23 @@ def collect_tables(output_text):
 
 
 def main() -> None:
-    if len(sys.argv) != 2:
+    if len(sys.argv) not in (2, 3):
         raise SystemExit(__doc__)
     output_text = Path(sys.argv[1]).read_text()
+    trace_dir = Path(sys.argv[2]) if len(sys.argv) == 3 else None
     tables = collect_tables(output_text)
-    experiments = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    repo_root = Path(__file__).resolve().parent.parent
+    experiments = repo_root / "EXPERIMENTS.md"
     text = experiments.read_text()
     for tag, blocks in tables.items():
         rendered = "```\n" + "\n\n".join(blocks) + "\n```"
+        if trace_dir is not None and trace_dir.is_dir():
+            rendered += breakdown_line(tag, trace_dir, repo_root)
         marker = f"<!-- {tag} -->"
         pattern = re.compile(
-            re.escape(marker) + r"(?:\n```.*?```)?", flags=re.DOTALL
+            re.escape(marker)
+            + r"(?:\n```.*?```(?:\n\nPer-cell breakdowns: [^\n]*)?)?",
+            flags=re.DOTALL,
         )
         text = pattern.sub(marker + "\n" + rendered, text, count=1)
     experiments.write_text(text)

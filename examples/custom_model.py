@@ -10,7 +10,7 @@ computed execution order and apply an explicit operation split by hand.
     python examples/custom_model.py
 """
 
-from repro import FastTConfig, FastTSession, PerfModel
+from repro import FastTConfig, FastTSession, PerfModel, SearchOptions
 from repro.cluster import single_server
 from repro.core import Strategy
 from repro.experiments import measure_strategy
@@ -72,7 +72,7 @@ def main() -> None:
     session = FastTSession(
         build_custom_encoder, topology, batch,
         perf_model=PerfModel(topology, noise_sigma=0.01, seed=13),
-        config=FastTConfig(max_rounds=3, max_candidate_ops=5),
+        config=FastTConfig(max_rounds=3, search=SearchOptions(max_candidate_ops=5)),
         model_name="custom",
     )
     report = session.optimize()

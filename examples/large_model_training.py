@@ -14,7 +14,7 @@ reduced BERT preset; see DESIGN.md for the calibration rationale.
 
 import dataclasses
 
-from repro import FastTConfig, FastTSession, PerfModel
+from repro import FastTConfig, FastTSession, PerfModel, SearchOptions
 from repro.cluster import Topology, V100, make_devices
 from repro.core import Strategy
 from repro.graph import (
@@ -64,7 +64,10 @@ def try_fastt(batch: int):
         topo,
         batch,
         perf_model=PerfModel(topo, noise_sigma=0.01, seed=5),
-        config=FastTConfig(max_rounds=2, min_rounds=1, max_candidate_ops=3),
+        config=FastTConfig(
+            max_rounds=2, min_rounds=1,
+            search=SearchOptions(max_candidate_ops=3),
+        ),
         model_name="bert_large",
     )
     return session.iteration_time()

@@ -9,7 +9,7 @@ data-parallel baseline.
     python examples/quickstart.py
 """
 
-from repro import FastTConfig, FastTSession, PerfModel
+from repro import FastTConfig, FastTSession, PerfModel, SearchOptions
 from repro.cluster import single_server
 from repro.experiments import run_data_parallel_trial
 from repro.models import get_model
@@ -26,7 +26,7 @@ def main() -> None:
         topology,
         global_batch=model.global_batch,
         perf_model=PerfModel(topology, noise_sigma=0.02, seed=7),
-        config=FastTConfig(max_rounds=3, max_candidate_ops=6),
+        config=FastTConfig(max_rounds=3, search=SearchOptions(max_candidate_ops=6)),
         model_name=model.name,
     )
     report = session.optimize()

@@ -11,7 +11,7 @@ the black-box methods pay one full simulated step per candidate.
 
 import time
 
-from repro import FastTConfig, FastTSession, PerfModel
+from repro import FastTConfig, FastTSession, PerfModel, SearchOptions
 from repro.baselines import (
     FlexFlowConfig,
     flexflow_search,
@@ -60,7 +60,7 @@ def main() -> None:
     session = FastTSession(
         model.builder, topology, model.global_batch,
         perf_model=PerfModel(topology, noise_sigma=0.02, seed=21),
-        config=FastTConfig(max_rounds=3, max_candidate_ops=5),
+        config=FastTConfig(max_rounds=3, search=SearchOptions(max_candidate_ops=5)),
         model_name=model.name,
     )
     report = session.optimize()

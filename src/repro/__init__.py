@@ -12,10 +12,28 @@ benchmark DNNs, a cluster/interconnect model of the V100 testbed, and a
 discrete-event multi-GPU execution simulator that stands in for the
 physical machines.
 
-Quick start::
+Quick start — one call does everything::
+
+    import repro
+    from repro.cluster import single_server
+
+    result = repro.optimize("vgg19", single_server(4))
+    print(result.strategy.placement)   # op -> device
+    print(result.training_speed)       # samples/second under the strategy
+    print(result.summary())
+
+Record the run and export a Perfetto-loadable timeline with an
+observability hook (``repro.obs``)::
+
+    from repro.obs import Observability
+
+    obs = Observability()
+    result = repro.optimize("vgg19", single_server(4), obs=obs)
+    obs.export_chrome_trace("optimize.trace.json")
+
+The session-level API remains for step-by-step control::
 
     from repro import FastTSession
-    from repro.cluster import single_server
     from repro.models import get_model
 
     model = get_model("vgg19")
@@ -26,6 +44,7 @@ Quick start::
     print(session.training_speed())   # samples/second under the strategy
 """
 
+from .api import ModelLike, OptimizeResult, optimize
 from .cluster import Topology, cluster_for, single_server, two_servers
 from .core import (
     DPOS,
@@ -33,6 +52,8 @@ from .core import (
     CalculationReport,
     FastTConfig,
     FastTSession,
+    OSDPOSResult,
+    SearchOptions,
     Strategy,
     StrategyCalculator,
 )
@@ -40,9 +61,10 @@ from .costmodel import CommunicationCostModel, ComputationCostModel
 from .graph import Graph, build_training_graph
 from .hardware import PerfModel
 from .models import get_model, model_names
+from .obs import NULL_OBS, MetricsSnapshot, Observability
 from .sim import ExecutionSimulator, SimulationOOMError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CalculationReport",
@@ -53,8 +75,15 @@ __all__ = [
     "FastTConfig",
     "FastTSession",
     "Graph",
+    "MetricsSnapshot",
+    "ModelLike",
+    "NULL_OBS",
     "OSDPOS",
+    "OSDPOSResult",
+    "Observability",
+    "OptimizeResult",
     "PerfModel",
+    "SearchOptions",
     "SimulationOOMError",
     "Strategy",
     "StrategyCalculator",
@@ -63,6 +92,7 @@ __all__ = [
     "cluster_for",
     "get_model",
     "model_names",
+    "optimize",
     "single_server",
     "two_servers",
     "__version__",

@@ -1,0 +1,178 @@
+"""The one-call public API: ``repro.optimize(...)``.
+
+Everything the library does — building the training graph, choosing the
+input DAG, bootstrapping cost models through simulated pre-training,
+running the OS-DPOS strategy search, activating/rolling back strategies —
+sits behind one function::
+
+    import repro
+    from repro.cluster import single_server
+
+    result = repro.optimize("lenet", single_server(2))
+    print(result.strategy.placement)
+    print(result.training_speed)          # samples/second
+    print(result.metrics["search.candidates_evaluated"])
+
+Pass an :class:`~repro.obs.Observability` hook to record the run and
+export a Chrome-trace timeline::
+
+    from repro.obs import Observability
+
+    obs = Observability()
+    result = repro.optimize("lenet", single_server(2), obs=obs)
+    obs.export_chrome_trace("optimize.trace.json")   # open in Perfetto
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from .cluster import Topology
+from .core.calculator import CalculationReport, FastTConfig
+from .core.session import FastTSession
+from .core.strategy import Strategy
+from .graph import Graph
+from .hardware import PerfModel
+from .models import get_model
+from .models.registry import ModelSpec
+from .obs import MetricsSnapshot, Observability
+
+#: What ``optimize`` accepts as its model argument: a model-zoo name, a
+#: :class:`~repro.models.registry.ModelSpec`, or a bare model-builder
+#: callable (with ``global_batch=`` then required).
+ModelLike = Union[str, ModelSpec, Callable]
+
+
+@dataclass
+class OptimizeResult:
+    """Structured output of :func:`repro.optimize`.
+
+    The interesting pieces of the full :class:`CalculationReport` are
+    lifted to attributes; the report itself (rounds, timings) and the
+    live session (for further simulated training via ``session.run()``)
+    stay reachable.
+    """
+
+    model_name: str
+    topology: Topology
+    global_batch: int
+    strategy: Strategy
+    graph: Graph
+    report: CalculationReport
+    session: FastTSession
+    iteration_time: float
+    training_speed: float
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.topology.devices)
+
+    @property
+    def speedup_vs_initial(self) -> float:
+        """Initial strategy's iteration time over the final one's."""
+        initial = self.report.initial_measured_time
+        if not self.iteration_time or initial == float("inf"):
+            return 1.0
+        return initial / self.iteration_time
+
+    def summary(self) -> str:
+        """A short human-readable account of the optimization."""
+        lines = [
+            f"model={self.model_name} devices={self.num_devices} "
+            f"batch={self.global_batch}",
+            f"strategy={self.strategy.label} "
+            f"splits={len(self.strategy.split_list)}",
+            f"iteration_time={self.iteration_time:.6f}s "
+            f"speed={self.training_speed:.1f} samples/s "
+            f"speedup={self.speedup_vs_initial:.2f}x",
+            f"search: evaluated={self.report.candidates_evaluated} "
+            f"pruned={self.report.candidates_pruned} "
+            f"rounds={len(self.report.rounds)}",
+        ]
+        return "\n".join(lines)
+
+
+def optimize(
+    model_or_name: ModelLike,
+    topology: Topology,
+    *,
+    global_batch: Optional[int] = None,
+    config: Optional[FastTConfig] = None,
+    obs: Optional[Observability] = None,
+    perf_model: Optional[PerfModel] = None,
+    model_name: Optional[str] = None,
+) -> OptimizeResult:
+    """Find and evaluate a deployment strategy for one training job.
+
+    Args:
+        model_or_name: A model-zoo name (``"lenet"``, ``"vgg19"``, …), a
+            :class:`ModelSpec`, or a model-builder callable.
+        topology: The cluster to deploy onto (e.g. ``single_server(4)``).
+        global_batch: Per-iteration batch size; defaults to the model
+            spec's, and is required for bare builder callables.
+        config: Workflow tunables (:class:`FastTConfig`); search knobs
+            live in ``config.search``.
+        obs: Optional :class:`~repro.obs.Observability` hook recording
+            spans and metrics across every layer of the run.
+        perf_model: Override the simulated hardware model (testing).
+        model_name: Display name when passing a bare builder.
+
+    Returns:
+        An :class:`OptimizeResult` with the surviving strategy, the
+        measured iteration time / training speed, and the run's metrics.
+    """
+    if isinstance(model_or_name, str):
+        spec = get_model(model_or_name)
+        builder, name = spec.builder, spec.name
+        batch = global_batch if global_batch is not None else spec.global_batch
+    elif isinstance(model_or_name, ModelSpec):
+        spec = model_or_name
+        builder, name = spec.builder, spec.name
+        batch = global_batch if global_batch is not None else spec.global_batch
+    elif callable(model_or_name):
+        builder = model_or_name
+        name = model_name or getattr(model_or_name, "__name__", "model")
+        if global_batch is None:
+            raise TypeError(
+                "optimize() requires global_batch= when given a bare "
+                "model-builder callable"
+            )
+        batch = global_batch
+    else:
+        raise TypeError(
+            "model_or_name must be a model-zoo name, a ModelSpec, or a "
+            f"model-builder callable, not {type(model_or_name).__name__}"
+        )
+    if model_name is not None:
+        name = model_name
+
+    session = FastTSession(
+        builder,
+        topology,
+        global_batch=batch,
+        perf_model=perf_model,
+        config=config,
+        model_name=name,
+        obs=obs,
+    )
+    report = session.optimize()
+    iteration_time = report.measured_time
+    speed = batch / iteration_time if iteration_time else float("inf")
+    if obs is not None and obs.enabled:
+        metrics = obs.snapshot()
+    else:
+        metrics = MetricsSnapshot(report.metrics)
+    return OptimizeResult(
+        model_name=name,
+        topology=topology,
+        global_batch=batch,
+        strategy=report.strategy,
+        graph=report.graph,
+        report=report,
+        session=session,
+        iteration_time=iteration_time,
+        training_speed=speed,
+        metrics=metrics,
+    )

@@ -8,7 +8,7 @@ from .calculator import (
 )
 from .dpos import DPOS, DPOSResult
 from .order import complete_order, priorities_from_order
-from .os_dpos import OSDPOS, OSDPOSResult, default_split_counts
+from .os_dpos import OSDPOS, OSDPOSResult, SearchOptions, default_split_counts
 from .placer import PlacementError, apply_placement
 from .ranks import (
     compute_ranks,
@@ -30,6 +30,7 @@ __all__ = [
     "OSDPOSResult",
     "PlacementError",
     "RoundRecord",
+    "SearchOptions",
     "Strategy",
     "StrategyCalculator",
     "apply_placement",

@@ -17,6 +17,7 @@ The calculator owns the loop the paper describes:
 from __future__ import annotations
 
 import time as _time
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -28,11 +29,12 @@ from ..costmodel import (
 )
 from ..graph import Graph
 from ..hardware import PerfModel
+from ..obs import MetricsSnapshot, Observability, get_obs
 from ..profiling import Profiler
 from ..sim import ExecutionSimulator, SimulationOOMError
 from .dpos import DPOS
 from .order import complete_order
-from .os_dpos import OSDPOS
+from .os_dpos import OSDPOS, SearchOptions
 from .placer import apply_placement
 from .strategy import Strategy
 
@@ -42,25 +44,78 @@ class FastTConfig:
     """Tunables of the FastT workflow.
 
     Attributes mirror the paper's system knobs; defaults follow Sec. 4/6.
+    The strategy-search knobs live in ``search`` (a
+    :class:`~repro.core.os_dpos.SearchOptions`); the old flat spellings
+    (``enable_splitting=``, ``split_counts=``, ``max_candidate_ops=``,
+    ``naive_search=``, ``search_workers=``) still work but emit
+    :class:`DeprecationWarning`.
     """
 
     profiling_steps: int = 2
     max_rounds: int = 5
     min_rounds: int = 2
     stability_tolerance: float = 0.08
-    enable_splitting: bool = True
-    split_counts: Optional[List[int]] = None
-    max_candidate_ops: Optional[int] = 12
-    #: Use the reference copy-per-candidate OS-DPOS path (for baselines
-    #: and the equivalence suite; the strategies are identical).
-    naive_search: bool = False
-    #: Fan split-candidate evaluation out to this many worker processes.
-    search_workers: Optional[int] = None
+    #: Knobs of the OS-DPOS strategy search (splitting, pruning, workers).
+    search: SearchOptions = field(default_factory=SearchOptions)
     memory_fraction: float = 0.9
     restart_overhead_seconds: float = 5.0
     enable_order_enforcement: bool = True
     enable_rollback: bool = True
     measure_steps: int = 3
+
+
+#: Old flat FastTConfig knob -> SearchOptions field it moved to.
+_DEPRECATED_SEARCH_KNOBS = {
+    "enable_splitting": "enable_splitting",
+    "split_counts": "split_counts",
+    "max_candidate_ops": "max_candidate_ops",
+    "naive_search": "naive",
+    "search_workers": "workers",
+}
+
+
+def _warn_search_knob(old: str, new: str) -> None:
+    warnings.warn(
+        f"FastTConfig.{old} is deprecated; use "
+        f"FastTConfig(search=SearchOptions({new}=...)) / config.search.{new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+_config_dataclass_init = FastTConfig.__init__
+
+
+def _config_init(self, *args, **kwargs):
+    moved = {}
+    for old, new in _DEPRECATED_SEARCH_KNOBS.items():
+        if old in kwargs:
+            _warn_search_knob(old, new)
+            moved[new] = kwargs.pop(old)
+    _config_dataclass_init(self, *args, **kwargs)
+    for new, value in moved.items():
+        setattr(self.search, new, value)
+
+
+_config_init.__wrapped__ = _config_dataclass_init  # type: ignore[attr-defined]
+FastTConfig.__init__ = _config_init  # type: ignore[assignment]
+
+
+def _deprecated_search_alias(old: str, new: str) -> property:
+    def getter(self):
+        _warn_search_knob(old, new)
+        return getattr(self.search, new)
+
+    def setter(self, value):
+        _warn_search_knob(old, new)
+        setattr(self.search, new, value)
+
+    return property(getter, setter, doc=f"Deprecated alias of search.{new}.")
+
+
+for _old, _new in _DEPRECATED_SEARCH_KNOBS.items():
+    setattr(FastTConfig, _old, _deprecated_search_alias(_old, _new))
+del _old, _new
 
 
 @dataclass
@@ -78,7 +133,12 @@ class RoundRecord:
 
 @dataclass
 class CalculationReport:
-    """Result of the pre-training stage."""
+    """Result of the pre-training stage.
+
+    ``metrics`` aggregates the search counters of every OS-DPOS run the
+    workflow made (``search.*`` names); the legacy counter attributes are
+    read-only views over it.
+    """
 
     strategy: Strategy
     graph: Graph
@@ -88,8 +148,17 @@ class CalculationReport:
     algorithm_seconds: float = 0.0
     simulated_profiling_seconds: float = 0.0
     simulated_restart_seconds: float = 0.0
-    candidates_evaluated: int = 0
-    candidates_pruned: int = 0
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+
+    @property
+    def candidates_evaluated(self) -> int:
+        """View of ``metrics["search.candidates_evaluated"]``."""
+        return int(self.metrics.get("search.candidates_evaluated", 0))
+
+    @property
+    def candidates_pruned(self) -> int:
+        """View of ``metrics["search.candidates_pruned"]``."""
+        return int(self.metrics.get("search.candidates_pruned", 0))
 
     @property
     def total_search_seconds(self) -> float:
@@ -127,6 +196,7 @@ class StrategyCalculator:
         perf_model: PerfModel,
         config: Optional[FastTConfig] = None,
         alternative_inputs: Optional[List] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         """``alternative_inputs`` is a list of ``(graph, default strategy)``
         pairs the calculator may deploy instead of ``input_graph`` — e.g.
@@ -140,6 +210,7 @@ class StrategyCalculator:
         self.topology = topology
         self.perf_model = perf_model
         self.config = config or FastTConfig()
+        self.obs = get_obs(obs)
         self.alternative_inputs = list(alternative_inputs or [])
         self._alternatives_profiled = False
 
@@ -156,18 +227,25 @@ class StrategyCalculator:
 
     # ------------------------------------------------------------------
     def _profiler_for(self, graph: Graph) -> Profiler:
-        simulator = ExecutionSimulator(graph, self.topology, self.perf_model)
+        simulator = ExecutionSimulator(
+            graph, self.topology, self.perf_model, obs=self.obs
+        )
         return Profiler(simulator, self.computation, self.communication)
 
     def _profile(self, graph: Graph, strategy: Strategy, steps: int):
         profiler = self._profiler_for(graph)
-        if strategy.order and self.config.enable_order_enforcement:
-            order = complete_order(graph, strategy.order)
-            return profiler.profile(
-                strategy.placement, order=order, policy="priority",
-                num_steps=steps,
-            )
-        return profiler.profile(strategy.placement, num_steps=steps)
+        with self.obs.tracer.span(
+            "calculator.profile",
+            cat="calculator",
+            args={"graph": graph.name, "steps": steps},
+        ):
+            if strategy.order and self.config.enable_order_enforcement:
+                order = complete_order(graph, strategy.order)
+                return profiler.profile(
+                    strategy.placement, order=order, policy="priority",
+                    num_steps=steps,
+                )
+            return profiler.profile(strategy.placement, num_steps=steps)
 
     def _profile_alternatives(
         self, report: "CalculationReport", best: Optional[tuple]
@@ -209,21 +287,17 @@ class StrategyCalculator:
             self.computation,
             self.communication,
             memory_fraction=self.config.memory_fraction,
+            obs=self.obs,
         )
+        search = self.config.search
         candidates = [self.input_graph] + [g for g, _ in self.alternative_inputs]
         best: Optional[tuple] = None
         for graph in candidates:
-            if self.config.enable_splitting:
-                result = OSDPOS(
-                    dpos,
-                    split_counts=self.config.split_counts,
-                    max_candidate_ops=self.config.max_candidate_ops,
-                    naive=self.config.naive_search,
-                    workers=self.config.search_workers,
-                ).run(graph)
+            if search.enable_splitting:
+                result = OSDPOS(dpos, options=search, obs=self.obs).run(graph)
                 strategy, rewritten = result.strategy, result.graph
-                report.candidates_evaluated += result.candidates_evaluated
-                report.candidates_pruned += result.candidates_pruned
+                for key, value in result.metrics.items():
+                    report.metrics[key] = report.metrics.get(key, 0) + value
             else:
                 dpos_result = dpos.run(graph.copy())
                 strategy, rewritten = dpos_result.strategy, graph
@@ -239,7 +313,35 @@ class StrategyCalculator:
     # ------------------------------------------------------------------
     def run(self) -> CalculationReport:
         """Execute the pre-training stage; returns the surviving strategy."""
+        with self.obs.tracer.span(
+            "calculator.run",
+            cat="calculator",
+            args={
+                "graph": self.input_graph.name,
+                "max_rounds": self.config.max_rounds,
+            },
+        ):
+            report = self._run_rounds()
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter("calculator.rounds").inc(len(report.rounds))
+            metrics.counter("calculator.activations").inc(
+                sum(1 for r in report.rounds if r.activated)
+            )
+            metrics.counter("calculator.rollbacks").inc(
+                sum(1 for r in report.rounds if r.rolled_back)
+            )
+            metrics.timer("calculator.algorithm").add(report.algorithm_seconds)
+            metrics.timer("calculator.simulated_profiling").add(
+                report.simulated_profiling_seconds
+            )
+            metrics.gauge("calculator.measured_time").set(report.measured_time)
+            # search.* totals already reach the registry via OSDPOS.run().
+        return report
+
+    def _run_rounds(self) -> CalculationReport:
         config = self.config
+        tracer = self.obs.tracer
         current_strategy = self.initial_strategy
         current_graph = self.input_graph
         report = CalculationReport(strategy=current_strategy, graph=current_graph)
@@ -249,6 +351,11 @@ class StrategyCalculator:
         current_measured: Optional[float] = None
 
         for round_index in range(config.max_rounds):
+            tracer.instant(
+                f"round:{round_index}",
+                cat="calculator",
+                args={"strategy": current_strategy.label},
+            )
             record = RoundRecord(
                 round_index=round_index,
                 strategy_label=current_strategy.label,
@@ -287,6 +394,11 @@ class StrategyCalculator:
                 current_strategy, current_graph, current_measured = previous
                 previous = None
                 record.rolled_back = True
+                tracer.instant(
+                    f"rollback:round{round_index}",
+                    cat="calculator",
+                    args={"to": current_strategy.label},
+                )
                 report.simulated_restart_seconds += config.restart_overhead_seconds
                 report.rounds.append(record)
                 continue
@@ -299,7 +411,12 @@ class StrategyCalculator:
                 break
 
             started = _time.perf_counter()
-            candidate, candidate_graph = self._compute_strategy(report)
+            with tracer.span(
+                "calculator.search",
+                cat="calculator",
+                args={"round": round_index},
+            ):
+                candidate, candidate_graph = self._compute_strategy(report)
             report.algorithm_seconds += _time.perf_counter() - started
 
             should_activate = (
@@ -315,6 +432,14 @@ class StrategyCalculator:
                 current_graph = candidate_graph
                 report.simulated_restart_seconds += config.restart_overhead_seconds
                 record.activated = True
+                tracer.instant(
+                    f"activate:round{round_index}",
+                    cat="calculator",
+                    args={
+                        "label": candidate.label,
+                        "estimate": candidate.estimated_time,
+                    },
+                )
             report.rounds.append(record)
 
         # Final measurement; if a strategy was activated but never

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..cluster import Topology
 from ..costmodel import CommunicationCostModel, ComputationCostModel, CostCache
 from ..graph import Graph, Operation
+from ..obs import Observability, get_obs
 from .ranks import compute_ranks, critical_path, max_comm_fn, max_weight_fn
 from .strategy import Strategy
 
@@ -106,6 +107,8 @@ class DPOS:
         communication: Profiled communication cost model.
         memory_fraction: Fraction of device memory the planner may fill
             (headroom for workspace/fragmentation, as in practice).
+        obs: Optional :class:`~repro.obs.Observability` hook; defaults to
+            the shared no-op.
     """
 
     def __init__(
@@ -113,14 +116,17 @@ class DPOS:
         topology: Topology,
         computation: ComputationCostModel,
         communication: CommunicationCostModel,
+        *,
         memory_fraction: float = 0.9,
         insertion_scheduling: bool = True,
+        obs: Optional[Observability] = None,
     ) -> None:
         if not 0 < memory_fraction <= 1:
             raise ValueError("memory_fraction must be in (0, 1]")
         self.topology = topology
         self.computation = computation
         self.communication = communication
+        self.obs = get_obs(obs)
         #: When False, operations only ever append after a device's last
         #: interval (no idle-slot insertion) — the ablation of Alg. 1's
         #: insertion policy.
@@ -140,6 +146,31 @@ class DPOS:
         OS-DPOS search) serves memoized cost and adjacency lookups; the
         result is identical with or without it.
         """
+        obs = self.obs
+        with obs.tracer.span(
+            "search.dpos",
+            cat="search",
+            args={
+                "graph": graph.name,
+                "ops": graph.num_ops,
+                "cached": cost_cache is not None,
+            },
+        ):
+            result = self._run(graph, cost_cache)
+        if obs.enabled:
+            obs.metrics.counter("dpos.runs").inc()
+            obs.metrics.gauge("dpos.last_finish_time").set(result.finish_time)
+        return result
+
+    def search(
+        self, graph: Graph, cost_cache: Optional[CostCache] = None
+    ) -> DPOSResult:
+        """Alias of :meth:`run` — the uniform search entry-point name."""
+        return self.run(graph, cost_cache=cost_cache)
+
+    def _run(
+        self, graph: Graph, cost_cache: Optional[CostCache]
+    ) -> DPOSResult:
         devices = self.topology.device_names
         if cost_cache is not None:
             weight = cost_cache.weight

@@ -29,10 +29,15 @@ from __future__ import annotations
 import itertools
 import sys
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
-from ..costmodel import CostCache
+from ..cluster import Topology
+from ..costmodel import (
+    CommunicationCostModel,
+    ComputationCostModel,
+    CostCache,
+)
 from ..graph import Graph, Operation
 from ..graph.rewrite import (
     SplitDecision,
@@ -40,26 +45,102 @@ from ..graph.rewrite import (
     SplitTransaction,
     split_operation,
 )
+from ..obs import MetricsSnapshot, Observability, get_obs
 from .dpos import DPOS, DPOSResult
 from .ranks import compute_ranks, critical_path
 from .strategy import Strategy
 
+#: "No explicit value" marker for OSDPOS kwargs that fall back to
+#: :class:`SearchOptions` fields.
+_UNSET = object()
+
+
+@dataclass
+class SearchOptions:
+    """Keyword-only knobs of the OS-DPOS strategy search (Alg. 2).
+
+    The same object configures both the low-level :class:`OSDPOS` engine
+    and the workflow-level ``FastTConfig.search`` sub-config (where the
+    default ``max_candidate_ops=12`` applies; a bare :class:`OSDPOS`
+    constructed without options walks the full critical path, as in the
+    paper).
+
+    Attributes:
+        enable_splitting: Try operation splits at all; ``False``
+            degenerates the search to plain DPOS.
+        split_counts: Candidate split numbers; ``None`` means
+            :func:`default_split_counts` of the cluster size.
+        max_candidate_ops: Cap on critical-path ops examined
+            (``None`` = the full path; the early exit usually stops far
+            sooner).
+        naive: Use the reference copy-per-candidate evaluation path
+            (kept for the equivalence suite and benchmark baselines).
+        prune: Skip candidates the lower bound proves hopeless
+            (incremental path only; never changes the strategy).
+        workers: Fan surviving candidates out to this many worker
+            processes (incremental path only).
+    """
+
+    enable_splitting: bool = True
+    split_counts: Optional[List[int]] = None
+    max_candidate_ops: Optional[int] = 12
+    naive: bool = False
+    prune: bool = True
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be a positive integer or None")
+
+
+_search_options_init = SearchOptions.__init__
+
+
+def _search_options_kwonly_init(self, *args, **kwargs):
+    if args:
+        raise TypeError(
+            "SearchOptions takes keyword arguments only, e.g. "
+            "SearchOptions(max_candidate_ops=6, workers=2)"
+        )
+    _search_options_init(self, **kwargs)
+
+
+SearchOptions.__init__ = _search_options_kwonly_init  # type: ignore[method-assign]
+
 
 @dataclass
 class OSDPOSResult:
-    """Output of Alg. 2: rewritten graph plus the full strategy."""
+    """Output of Alg. 2: rewritten graph, full strategy, search metrics.
+
+    The search counters live in ``metrics`` (a
+    :class:`~repro.obs.MetricsSnapshot`); ``candidates_evaluated`` and
+    friends remain as read-only views over it.
+    """
 
     graph: Graph
     strategy: Strategy
     finish_time: float
     dpos_result: DPOSResult
-    candidates_evaluated: int = 0
-    splits_rejected: int = 0
-    candidates_pruned: int = 0
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
 
     @property
     def split_list(self) -> List[SplitDecision]:
         return self.strategy.split_list
+
+    @property
+    def candidates_evaluated(self) -> int:
+        """View of ``metrics["search.candidates_evaluated"]``."""
+        return int(self.metrics.get("search.candidates_evaluated", 0))
+
+    @property
+    def splits_rejected(self) -> int:
+        """View of ``metrics["search.splits_rejected"]``."""
+        return int(self.metrics.get("search.splits_rejected", 0))
+
+    @property
+    def candidates_pruned(self) -> int:
+        """View of ``metrics["search.candidates_pruned"]``."""
+        return int(self.metrics.get("search.candidates_pruned", 0))
 
 
 def default_split_counts(num_devices: int) -> List[int]:
@@ -144,15 +225,28 @@ def _evaluate_candidate(
 
 
 class OSDPOS:
-    """Alg. 2, built on a configured :class:`DPOS` instance.
+    """Alg. 2 — operation-splitting search over a :class:`DPOS` engine.
+
+    The constructor mirrors :class:`DPOS`: either pass a configured
+    ``dpos`` instance, or the same ``topology``/``computation``/
+    ``communication``/``memory_fraction`` parameters DPOS takes and one
+    is built internally.  All search knobs are keyword-only and can be
+    given either individually or bundled as a :class:`SearchOptions`
+    (individual kwargs win over ``options`` fields).
 
     Args:
         dpos: The placement/ordering engine (carries cluster+cost models).
+        topology: Cluster to place onto (alternative to ``dpos``).
+        computation: Computation cost model (alternative to ``dpos``).
+        communication: Communication cost model (alternative to ``dpos``).
+        memory_fraction: Planner memory headroom when building the
+            internal DPOS.
+        options: Bundled :class:`SearchOptions`; without it the engine
+            defaults to the paper's full-critical-path walk
+            (``max_candidate_ops=None``).
         split_counts: Candidate split numbers; default
             :func:`default_split_counts` of the cluster size.
-        max_candidate_ops: Cap on how many critical-path ops are examined
-            (None = the full path, as in the paper; the early exit usually
-            stops far sooner).
+        max_candidate_ops: Cap on how many critical-path ops are examined.
         naive: Use the reference copy-per-candidate evaluation path (no
             transactions, no cache, no pruning).  Kept for the
             equivalence suite and benchmark baselines.
@@ -162,28 +256,70 @@ class OSDPOS:
         workers: Evaluate each op's surviving candidates in this many
             worker processes (incremental path only; the cost models
             must be picklable, which the oracle models are).
+        obs: Observability hook (spans per search/op, search counters and
+            cache hit/miss metrics); defaults to the zero-cost no-op.
     """
 
     def __init__(
         self,
-        dpos: DPOS,
-        split_counts: Optional[Sequence[int]] = None,
-        max_candidate_ops: Optional[int] = None,
-        naive: bool = False,
-        prune: bool = True,
-        workers: Optional[int] = None,
+        dpos: Optional[DPOS] = None,
+        *,
+        topology: Optional[Topology] = None,
+        computation: Optional[ComputationCostModel] = None,
+        communication: Optional[CommunicationCostModel] = None,
+        memory_fraction: float = 0.9,
+        options: Optional[SearchOptions] = None,
+        split_counts: object = _UNSET,
+        max_candidate_ops: object = _UNSET,
+        naive: object = _UNSET,
+        prune: object = _UNSET,
+        workers: object = _UNSET,
+        obs: Optional[Observability] = None,
     ) -> None:
+        if dpos is None:
+            if topology is None or computation is None or communication is None:
+                raise TypeError(
+                    "OSDPOS needs either a DPOS instance or all of "
+                    "topology=, computation=, communication="
+                )
+            dpos = DPOS(
+                topology, computation, communication,
+                memory_fraction=memory_fraction,
+            )
+        elif topology is not None or computation is not None \
+                or communication is not None:
+            raise TypeError(
+                "pass either dpos or topology/computation/communication, "
+                "not both"
+            )
         self.dpos = dpos
+        self.obs = get_obs(obs)
+
+        base = options if options is not None \
+            else SearchOptions(max_candidate_ops=None)
+        if split_counts is _UNSET:
+            split_counts = base.split_counts
+        if max_candidate_ops is _UNSET:
+            max_candidate_ops = base.max_candidate_ops
+        if naive is _UNSET:
+            naive = base.naive
+        if prune is _UNSET:
+            prune = base.prune
+        if workers is _UNSET:
+            workers = base.workers
+        if not base.enable_splitting:
+            split_counts = []
+
         num_devices = len(dpos.topology.devices)
         self.split_counts = (
-            list(split_counts)
+            list(split_counts)  # type: ignore[arg-type]
             if split_counts is not None
             else default_split_counts(num_devices)
         )
         self.max_candidate_ops = max_candidate_ops
-        self.naive = naive
-        self.prune = prune
-        if workers is not None and workers < 1:
+        self.naive = bool(naive)
+        self.prune = bool(prune)
+        if workers is not None and workers < 1:  # type: ignore[operator]
             raise ValueError("workers must be a positive integer or None")
         self.workers = workers
 
@@ -194,9 +330,34 @@ class OSDPOS:
         ``graph`` itself is never mutated; the search works on a private
         copy.  All evaluation modes return identical strategies.
         """
-        if self.naive:
-            return self._run_naive(graph)
-        return self._run_incremental(graph)
+        obs = self.obs
+        with obs.tracer.span(
+            "search.osdpos",
+            cat="search",
+            args={
+                "graph": graph.name,
+                "ops": graph.num_ops,
+                "mode": "naive" if self.naive else "incremental",
+            },
+        ):
+            if self.naive:
+                result = self._run_naive(graph)
+            else:
+                result = self._run_incremental(graph)
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("search.runs").inc()
+            for name, value in result.metrics.items():
+                if isinstance(value, int):
+                    metrics.counter(name).inc(value)
+            metrics.gauge("search.finish_time_estimate").set(result.finish_time)
+        return result
+
+    #: Public alias: ``search()`` is the documented entry point shared
+    #: with :meth:`DPOS.search`; ``run()`` is kept for existing callers.
+    def search(self, graph: Graph) -> OSDPOSResult:
+        """Alias of :meth:`run` (consistent with :meth:`DPOS.search`)."""
+        return self.run(graph)
 
     # ------------------------------------------------------------------
     # Reference path: copy the whole graph per candidate
@@ -273,6 +434,8 @@ class OSDPOS:
         cache = CostCache(
             working, self.dpos.computation, self.dpos.communication, devices
         )
+        if self.obs.enabled:
+            cache.enable_stats()
         best = self.dpos.run(working, cost_cache=cache)
         split_list: List[SplitDecision] = []
         evaluated = 0
@@ -301,15 +464,20 @@ class OSDPOS:
                 )
                 if self.max_candidate_ops is not None:
                     cp_ops = cp_ops[: self.max_candidate_ops]
+                tracer = self.obs.tracer
                 for op_name in cp_ops:
                     if op_name not in working:
                         continue  # consumed by an earlier committed split
                     op = working.get_op(op_name)
                     if not op.is_splittable:
                         continue
-                    outcome = self._evaluate_op(
-                        working, op, cache, bounds, best.finish_time, executor
-                    )
+                    with tracer.span(
+                        f"evaluate:{op_name}", cat="search.candidates"
+                    ):
+                        outcome = self._evaluate_op(
+                            working, op, cache, bounds, best.finish_time,
+                            executor,
+                        )
                     evaluated += outcome.evaluated
                     pruned += outcome.pruned
                     if outcome.attempted == 0:
@@ -326,6 +494,15 @@ class OSDPOS:
                         cache.invalidate(txn.commit())
                         split_list.append(decision)
                         best = result
+                        tracer.instant(
+                            f"commit-split:{op_name}",
+                            cat="search",
+                            args={
+                                "dim": decision.dim,
+                                "num_splits": decision.num_splits,
+                                "finish_time": result.finish_time,
+                            },
+                        )
                         if self.prune:
                             bounds = _SearchBounds(cache)
                     else:
@@ -336,7 +513,8 @@ class OSDPOS:
                 executor.shutdown()
 
         return self._package(
-            working, best, split_list, evaluated, rejected, pruned
+            working, best, split_list, evaluated, rejected, pruned,
+            cache=cache,
         )
 
     def _evaluate_op(
@@ -481,6 +659,7 @@ class OSDPOS:
         evaluated: int,
         rejected: int,
         pruned: int,
+        cache: Optional[CostCache] = None,
     ) -> OSDPOSResult:
         strategy = Strategy(
             placement=dict(best.strategy.placement),
@@ -489,14 +668,21 @@ class OSDPOS:
             estimated_time=best.finish_time,
             label="os-dpos" if split_list else "dpos",
         )
+        metrics = MetricsSnapshot({
+            "search.candidates_evaluated": evaluated,
+            "search.splits_rejected": rejected,
+            "search.candidates_pruned": pruned,
+            "search.splits_committed": len(split_list),
+        })
+        if cache is not None:
+            for key, value in cache.stats().items():
+                metrics[f"search.cache.{key}"] = value
         return OSDPOSResult(
             graph=graph,
             strategy=strategy,
             finish_time=best.finish_time,
             dpos_result=best,
-            candidates_evaluated=evaluated,
-            splits_rejected=rejected,
-            candidates_pruned=pruned,
+            metrics=metrics,
         )
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from ..graph import (
     data_parallel_placement,
 )
 from ..hardware import PerfModel
+from ..obs import Observability, get_obs
 from ..profiling import StepTrace
 from ..sim import ExecutionSimulator, SimulationOOMError
 from .calculator import CalculationReport, FastTConfig, StrategyCalculator
@@ -68,6 +69,7 @@ class FastTSession:
         perf_model: Optional[PerfModel] = None,
         config: Optional[FastTConfig] = None,
         model_name: str = "model",
+        obs: Optional[Observability] = None,
     ) -> None:
         self.model_builder = model_builder
         self.topology = topology
@@ -75,6 +77,7 @@ class FastTSession:
         self.perf_model = perf_model or PerfModel(topology, noise_sigma=0.02)
         self.config = config or FastTConfig()
         self.model_name = model_name
+        self.obs = get_obs(obs)
 
         self.alternative_inputs: list = []
         self.input_graph, self.initial_strategy = self._prepare_input()
@@ -153,6 +156,7 @@ class FastTSession:
                 self.perf_model,
                 config=self.config,
                 alternative_inputs=self.alternative_inputs,
+                obs=self.obs,
             )
             self._report = calculator.run()
         return self._report
@@ -170,7 +174,9 @@ class FastTSession:
     def run(self, num_steps: int = 1) -> List[StepTrace]:
         """Normal-training stage: execute steps under the active strategy."""
         report = self.optimize()
-        simulator = ExecutionSimulator(report.graph, self.topology, self.perf_model)
+        simulator = ExecutionSimulator(
+            report.graph, self.topology, self.perf_model, obs=self.obs
+        )
         strategy = report.strategy
         traces: List[StepTrace] = []
         for _ in range(num_steps):

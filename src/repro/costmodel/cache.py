@@ -66,6 +66,14 @@ class CostCache:
         # graph-independent memos (the models are frozen during a search)
         self._comm_by_bytes: Dict[int, float] = {}
         self._pair_time: Dict[Tuple[str, str, int], float] = {}
+        # observability: misses are counted unconditionally (the increment
+        # is noise next to the cost-model call each miss already makes);
+        # per-lookup counting is opt-in via enable_stats() so the default
+        # hot path stays untouched.
+        self.misses = 0
+        self.lookups = 0
+        self.invalidations = 0
+        self.stats_enabled = False
 
     # ------------------------------------------------------------------
     # Computation times
@@ -75,6 +83,7 @@ class CostCache:
         key = (op.name, device)
         value = self._time.get(key)
         if value is None:
+            self.misses += 1
             value = self._time[key] = self.computation.time(op, device)
         return value
 
@@ -82,6 +91,7 @@ class CostCache:
         """``w_i`` of the rank computation: max time over all devices."""
         value = self._weight.get(op.name)
         if value is None:
+            self.misses += 1
             value = self._weight[op.name] = max(
                 (self.time(op, d) for d in self.devices), default=0.0
             )
@@ -91,6 +101,7 @@ class CostCache:
         """Best-case execution time: min over all devices (bounds)."""
         value = self._min_weight.get(op.name)
         if value is None:
+            self.misses += 1
             value = self._min_weight[op.name] = min(
                 (self.time(op, d) for d in self.devices), default=0.0
             )
@@ -111,6 +122,7 @@ class CostCache:
         key = (src.name, dst.name)
         value = self._edge_bytes.get(key)
         if value is None:
+            self.misses += 1
             value = self._edge_bytes[key] = self.graph.edge_bytes(src, dst)
             self._edge_index.setdefault(src.name, set()).add(key)
             self._edge_index.setdefault(dst.name, set()).add(key)
@@ -121,6 +133,7 @@ class CostCache:
         key = (src.name, dst.name)
         value = self._edge_comm.get(key)
         if value is None:
+            self.misses += 1
             num_bytes = self.edge_bytes(src, dst)
             value = self._comm_by_bytes.get(num_bytes)
             if value is None:
@@ -148,12 +161,14 @@ class CostCache:
     def predecessors(self, op: Operation) -> List[Operation]:
         value = self._preds.get(op.name)
         if value is None:
+            self.misses += 1
             value = self._preds[op.name] = self.graph.predecessors(op)
         return value
 
     def successors(self, op: Operation) -> List[Operation]:
         value = self._succs.get(op.name)
         if value is None:
+            self.misses += 1
             value = self._succs[op.name] = self.graph.successors(op)
         return value
 
@@ -192,6 +207,7 @@ class CostCache:
         the communication model is frozen during a search, so those values
         cannot go stale.
         """
+        self.invalidations += 1
         if names is None:
             self._time.clear()
             self._weight.clear()
@@ -214,6 +230,47 @@ class CostCache:
             for key in self._edge_index.pop(name, ()):
                 self._edge_bytes.pop(key, None)
                 self._edge_comm.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def enable_stats(self) -> None:
+        """Count lookups on the hot accessors (observability runs only).
+
+        Wraps the memoized lookups with per-call counting by rebinding
+        them as instance attributes, so the default (un-observed) path
+        keeps the plain methods and pays nothing.  Hits are then
+        ``lookups - misses``.
+        """
+        if self.stats_enabled:
+            return
+        self.stats_enabled = True
+        for name in (
+            "time", "weight", "min_weight", "edge_bytes", "edge_comm",
+            "predecessors", "successors",
+        ):
+            inner = getattr(self, name)
+
+            def counting(*args, _inner=inner):
+                self.lookups += 1
+                return _inner(*args)
+
+            setattr(self, name, counting)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/invalidation counters plus the live entry count.
+
+        ``lookups`` and ``hits`` are only meaningful after
+        :meth:`enable_stats`; ``misses`` (cost-model/adjacency
+        evaluations) is always tracked.
+        """
+        return {
+            "lookups": self.lookups,
+            "hits": max(0, self.lookups - self.misses),
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "entries": self.num_entries,
+        }
 
     @property
     def num_entries(self) -> int:

@@ -21,10 +21,23 @@ from ..baselines import (
     model_parallel_strategy,
 )
 from ..cluster import Topology, cluster_for
-from ..core import FastTConfig, FastTSession, Strategy, complete_order
+from ..core import (
+    FastTConfig,
+    FastTSession,
+    SearchOptions,
+    Strategy,
+    complete_order,
+)
 from ..graph import Graph, build_single_device_training_graph
 from ..hardware import PerfModel
 from ..models import ModelSpec, get_model
+from ..obs import (
+    Observability,
+    ensure_dir,
+    export_step_trace,
+    export_tracer,
+    write_metrics_json,
+)
 from ..profiling import StepTrace
 from ..sim import ExecutionSimulator, SimulationOOMError
 
@@ -42,9 +55,63 @@ def bench_config() -> FastTConfig:
         profiling_steps=2,
         max_rounds=3,
         min_rounds=2,
-        max_candidate_ops=6,
+        search=SearchOptions(max_candidate_ops=6),
         measure_steps=_MEASURE_STEPS,
     )
+
+
+# ---------------------------------------------------------------------------
+# Trace sink (the shared --trace-dir flag of the benchmark suite)
+# ---------------------------------------------------------------------------
+_TRACE_DIR: Optional[str] = None
+
+
+def set_trace_dir(path: Optional[str]) -> None:
+    """Route every subsequent trial's observability exports to ``path``.
+
+    ``None`` disables exporting (the default).  Benchmarks set this from
+    the shared ``--trace-dir`` pytest option.
+    """
+    global _TRACE_DIR
+    _TRACE_DIR = ensure_dir(path) if path else None
+
+
+def get_trace_dir() -> Optional[str]:
+    return _TRACE_DIR
+
+
+def _trial_obs() -> Optional[Observability]:
+    """A recording hook when a trace dir is set, else None (no-op obs)."""
+    return Observability() if _TRACE_DIR else None
+
+
+def _export_trial(
+    result: "TrialResult",
+    obs: Optional[Observability] = None,
+    traces: Optional[List[StepTrace]] = None,
+) -> None:
+    """Write ``<model>_<method>_<G>x<S>.{trace,metrics,step.trace}`` files."""
+    if not _TRACE_DIR:
+        return
+    stem = (
+        f"{result.model}_{result.method}_"
+        f"{result.num_gpus}x{result.num_servers}"
+    )
+    base = os.path.join(_TRACE_DIR, stem)
+    if obs is not None and obs.enabled:
+        export_tracer(f"{base}.trace.json", obs.tracer)
+        write_metrics_json(
+            f"{base}.metrics.json",
+            obs.snapshot(),
+            extra={
+                "model": result.model,
+                "method": result.method,
+                "num_gpus": result.num_gpus,
+                "num_servers": result.num_servers,
+            },
+        )
+    if traces:
+        export_step_trace(f"{base}.step.trace.json", traces[-1])
 
 
 @dataclass
@@ -90,19 +157,45 @@ def _cache_dir() -> str:
     return root
 
 
+#: Version of the cached-trial file layout (the ``TrialResult`` fields
+#: and the surrounding envelope).  Bump when either changes shape: stale
+#: entries written under another schema are invalidated on read instead
+#: of being deserialized into the wrong dataclass.
+CACHE_SCHEMA_VERSION = 2
+
+
 def cached_trial(key: Dict[str, object], fn: Callable[[], TrialResult]) -> TrialResult:
-    """Run ``fn`` once per unique ``key``; later calls read the JSON cache."""
+    """Run ``fn`` once per unique ``key``; later calls read the JSON cache.
+
+    The digest covers both the caller's key and
+    :data:`CACHE_SCHEMA_VERSION`; a stored file whose recorded schema
+    disagrees (including pre-versioning files) is deleted and recomputed.
+    """
     digest = hashlib.sha256(
-        json.dumps(key, sort_keys=True).encode()
+        json.dumps({"schema": CACHE_SCHEMA_VERSION, "key": key},
+                   sort_keys=True).encode()
     ).hexdigest()[:24]
     path = os.path.join(_cache_dir(), f"{digest}.json")
     if os.path.exists(path):
-        with open(path) as handle:
-            stored = json.load(handle)
-        return TrialResult.from_json(stored["result"])
+        try:
+            with open(path) as handle:
+                stored = json.load(handle)
+            if stored.get("schema") == CACHE_SCHEMA_VERSION:
+                return TrialResult.from_json(stored["result"])
+        except (json.JSONDecodeError, KeyError, TypeError):
+            pass  # corrupt or incompatible: fall through and recompute
+        os.remove(path)
     result = fn()
     with open(path, "w") as handle:
-        json.dump({"key": key, "result": result.to_json()}, handle, indent=2)
+        json.dump(
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "key": key,
+                "result": result.to_json(),
+            },
+            handle,
+            indent=2,
+        )
     return result
 
 
@@ -183,6 +276,7 @@ def run_data_parallel_trial(
             graph, strategy, topology, _perf_model(topology, seed)
         )
         _fill_from_traces(result, traces, global_batch)
+        _export_trial(result, traces=traces)
     except SimulationOOMError:
         result.oom = True
     return result
@@ -205,6 +299,7 @@ def run_fastt_trial(
         num_servers=num_servers,
         global_batch=global_batch,
     )
+    obs = _trial_obs()
     try:
         session = FastTSession(
             model.builder,
@@ -213,6 +308,7 @@ def run_fastt_trial(
             perf_model=_perf_model(topology, seed),
             config=config or bench_config(),
             model_name=model.name,
+            obs=obs,
         )
         report = session.optimize()
         traces = measure_strategy(
@@ -233,6 +329,7 @@ def run_fastt_trial(
         result.extra["rounds"] = len(report.rounds)
         result.extra["candidates_evaluated"] = report.candidates_evaluated
         result.extra["candidates_pruned"] = report.candidates_pruned
+        _export_trial(result, obs=obs, traces=traces)
     except SimulationOOMError:
         result.oom = True
     return result
@@ -264,6 +361,7 @@ def run_model_parallel_trial(
             graph, strategy, topology, _perf_model(topology, seed)
         )
         _fill_from_traces(result, traces, global_batch)
+        _export_trial(result, traces=traces)
     except SimulationOOMError:
         result.oom = True
     return result
@@ -278,7 +376,7 @@ def run_fastt_nosplit_trial(
 ) -> TrialResult:
     """FastT with operation splitting disabled (Table 6 ablation)."""
     config = bench_config()
-    config.enable_splitting = False
+    config.search.enable_splitting = False
     result = run_fastt_trial(
         model, num_gpus, num_servers, global_batch, seed=seed, config=config
     )
@@ -349,6 +447,7 @@ def optimized_session(
     session = _SESSION_CACHE.get(key)
     if session is None:
         topology = cluster_for(num_gpus, num_servers)
+        obs = _trial_obs()
         session = FastTSession(
             model.builder,
             topology,
@@ -356,8 +455,24 @@ def optimized_session(
             perf_model=_perf_model(topology, seed),
             config=bench_config(),
             model_name=model.name,
+            obs=obs,
         )
         session.optimize()
+        if obs is not None and _TRACE_DIR:
+            base = os.path.join(
+                _TRACE_DIR,
+                f"{model.name}_session_{num_gpus}x{num_servers}",
+            )
+            export_tracer(f"{base}.trace.json", obs.tracer)
+            write_metrics_json(
+                f"{base}.metrics.json",
+                obs.snapshot(),
+                extra={
+                    "model": model.name,
+                    "num_gpus": num_gpus,
+                    "num_servers": num_servers,
+                },
+            )
         _SESSION_CACHE[key] = session
     return session
 
@@ -379,6 +494,10 @@ def order_enforcement_comparison(
     fifo_strategy = Strategy(placement=strategy.placement, order=[], label="fifo")
     fifo = measure_strategy(report.graph, fifo_strategy, topology, perf, steps)
     enforced = measure_strategy(report.graph, strategy, topology, perf, steps)
+    if _TRACE_DIR:
+        base = os.path.join(_TRACE_DIR, f"{model_name}_fig2_{num_gpus}gpu")
+        export_step_trace(f"{base}.fifo.step.trace.json", fifo[-1])
+        export_step_trace(f"{base}.enforced.step.trace.json", enforced[-1])
     fifo_time = sum(t.makespan for t in fifo) / len(fifo)
     enforced_time = sum(t.makespan for t in enforced) / len(enforced)
     return {

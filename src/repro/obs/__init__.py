@@ -1,0 +1,128 @@
+"""``repro.obs`` — unified observability for the FastT reproduction.
+
+Every execution layer (the discrete-event simulator, the DPOS/OS-DPOS
+strategy search, the pre-training calculator, the session facade)
+accepts an ``obs=`` hook.  The hook bundles two instruments:
+
+* a **tracer** recording spans/instants/counter samples in
+  Chrome-trace-format, so a strategy-search run or a simulated training
+  step renders as a visual timeline in ``chrome://tracing`` / Perfetto;
+* a **metrics registry** of counters/gauges/timers, frozen into a
+  :class:`~repro.obs.metrics.MetricsSnapshot` that result objects
+  (``OSDPOSResult``, ``CalculationReport``, ``OptimizeResult``) carry.
+
+The default is :data:`NULL_OBS`, whose every instrument is a shared
+no-op, so un-observed runs pay essentially nothing::
+
+    import repro
+    from repro.cluster import single_server
+    from repro.obs import Observability
+
+    obs = Observability()
+    result = repro.optimize("lenet", single_server(2), obs=obs)
+    obs.export_chrome_trace("search.trace.json")   # open in Perfetto
+    print(result.metrics["search.candidates_evaluated"])
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .chrome_trace import (
+    TraceValidationError,
+    export_step_trace,
+    step_trace_events,
+    trace_document,
+    validate_trace,
+    validate_trace_dir,
+    write_trace,
+)
+from .exporters import (
+    ensure_dir,
+    export_tracer,
+    write_metrics_csv,
+    write_metrics_json,
+    write_rows_csv,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetricsRegistry,
+    Timer,
+)
+from .tracer import NULL_TRACER, NullTracer, Tracer
+
+
+class Observability:
+    """The ``obs=`` hook: one tracer plus one metrics registry.
+
+    ``Observability()`` records; :data:`NULL_OBS` (the library default)
+    is the disabled instance whose tracer and registry are no-ops.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.enabled = enabled
+        if enabled:
+            self.tracer = tracer if tracer is not None else Tracer()
+            self.metrics = metrics if metrics is not None else MetricsRegistry()
+        else:
+            self.tracer = NULL_TRACER
+            self.metrics = NullMetricsRegistry()
+
+    # ------------------------------------------------------------------
+    def export_chrome_trace(self, path: str) -> Optional[str]:
+        """Write the tracer's timeline; returns None when disabled/empty."""
+        return export_tracer(path, self.tracer)
+
+    def export_metrics_json(self, path: str, **extra: object) -> str:
+        return write_metrics_json(path, self.metrics.snapshot(), extra=extra)
+
+    def export_metrics_csv(self, path: str) -> str:
+        return write_metrics_csv(path, self.metrics.snapshot())
+
+    def snapshot(self) -> MetricsSnapshot:
+        return self.metrics.snapshot()
+
+
+#: Shared disabled instance: the default for every ``obs=`` parameter.
+NULL_OBS = Observability(enabled=False)
+
+
+def get_obs(obs: Optional[Observability]) -> Observability:
+    """Normalize an ``obs=`` argument (None -> the shared null hook)."""
+    return NULL_OBS if obs is None else obs
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_OBS",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "Observability",
+    "Timer",
+    "TraceValidationError",
+    "Tracer",
+    "ensure_dir",
+    "export_step_trace",
+    "export_tracer",
+    "get_obs",
+    "step_trace_events",
+    "trace_document",
+    "validate_trace",
+    "validate_trace_dir",
+    "write_metrics_csv",
+    "write_metrics_json",
+    "write_rows_csv",
+    "write_trace",
+]

@@ -1,0 +1,195 @@
+"""Metrics registry: counters, gauges, and timers for the FastT workflow.
+
+The registry replaces the ad hoc integer counters that used to live on
+``OSDPOSResult`` and ``CalculationReport``: components increment named
+counters, set gauges, and accumulate timers; at the end of a run the
+registry is frozen into a :class:`MetricsSnapshot` (a plain ``dict``
+subclass) that travels on the result objects and serializes to JSON/CSV.
+
+Metric names are dotted paths (``search.candidates_evaluated``,
+``workflow.rounds``, ``sim.steps``).  Timers store seconds under
+``<name>.seconds`` and invocation counts under ``<name>.count``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    # ``add`` reads better when folding in a batch total.
+    add = inc
+
+
+class Gauge:
+    """Last-write-wins numeric metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+
+class Timer:
+    """Accumulated wall-clock seconds plus an invocation count.
+
+    Usable as a context manager (``with registry.timer("x"): ...``) or by
+    adding externally measured durations via :meth:`add`.
+    """
+
+    __slots__ = ("name", "seconds", "count", "_started")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self.count = 0
+        self._started: Optional[float] = None
+
+    def add(self, seconds: float, count: int = 1) -> None:
+        self.seconds += seconds
+        self.count += count
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._started is not None
+        self.add(time.perf_counter() - self._started)
+        self._started = None
+
+
+class MetricsSnapshot(dict):
+    """Frozen-by-convention ``{metric name: value}`` mapping.
+
+    A plain dict subclass so it JSON-serializes directly; ``get`` with a
+    default of 0 is the common read pattern for the result-object views.
+    """
+
+    def counters(self, prefix: str = "") -> Dict[str, Number]:
+        return {k: v for k, v in self.items() if k.startswith(prefix)}
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named counters/gauges/timers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def timer(self, name: str) -> Timer:
+        metric = self._timers.get(name)
+        if metric is None:
+            metric = self._timers[name] = Timer(name)
+        return metric
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's totals into this one (cross-run sums)."""
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, timer in other._timers.items():
+            self.timer(name).add(timer.seconds, timer.count)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze current values into a serializable mapping."""
+        snap = MetricsSnapshot()
+        for name, counter in self._counters.items():
+            snap[name] = counter.value
+        for name, gauge in self._gauges.items():
+            snap[name] = gauge.value
+        for name, timer in self._timers.items():
+            snap[f"{name}.seconds"] = timer.seconds
+            snap[f"{name}.count"] = timer.count
+        return snap
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._counters
+        yield from self._gauges
+        yield from self._timers
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._timers)
+
+
+class _NullMetric:
+    """Shared do-nothing counter/gauge/timer for disabled observability."""
+
+    __slots__ = ()
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+    def add(self, seconds: Number = 1, count: int = 1) -> None:
+        pass
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def __enter__(self) -> "_NullMetric":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Zero-cost registry: every metric is one shared no-op object."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_METRIC  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_METRIC  # type: ignore[return-value]
+
+    def timer(self, name: str) -> Timer:  # type: ignore[override]
+        return _NULL_METRIC  # type: ignore[return-value]
+
+    def merge(self, other: MetricsRegistry) -> None:
+        pass
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot()

@@ -1,0 +1,217 @@
+"""Span/event tracer emitting Chrome-trace-format events.
+
+The tracer records *durations* (``B``/``E`` begin-end pairs), *instants*
+(``i``), and *counter samples* (``C``) on named tracks — ``pid`` groups
+(``fastt``, ``sim``) and ``tid`` rows within a group — exactly the JSON
+event model that ``chrome://tracing`` and Perfetto load.  Wall-clock
+spans use ``time.perf_counter`` relative to the tracer's epoch;
+simulated timelines pass explicit timestamps (seconds) instead.
+
+The default everywhere in the library is :data:`NULL_TRACER`, whose
+every method is a no-op returning a shared null context manager, so
+un-observed runs pay essentially nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+#: Chrome trace timestamps are microseconds.
+_US = 1_000_000.0
+
+
+class _SpanContext:
+    """Context manager closing one ``B`` event with its ``E`` partner."""
+
+    __slots__ = ("_tracer", "_pid", "_tid")
+
+    def __init__(self, tracer: "Tracer", pid: str, tid: str) -> None:
+        self._tracer = tracer
+        self._pid = pid
+        self._tid = tid
+
+    def __enter__(self) -> "_SpanContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer.end(pid=self._pid, tid=self._tid)
+
+
+class Tracer:
+    """Collects Chrome-trace events; export with :func:`write_trace`.
+
+    Args:
+        pid: Default process-group label for events.
+        tid: Default track label within the group.
+    """
+
+    enabled = True
+
+    def __init__(self, pid: str = "repro", tid: str = "main") -> None:
+        self.default_pid = pid
+        self.default_tid = tid
+        self._epoch = time.perf_counter()
+        self._events: List[Dict[str, object]] = []
+        self._open: Dict[tuple, int] = {}
+
+    # ------------------------------------------------------------------
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._epoch) * _US
+
+    def _ts(self, ts: Optional[float]) -> float:
+        """Explicit simulated/epoch seconds -> µs; None -> wall clock."""
+        return self._now_us() if ts is None else ts * _US
+
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        name: str,
+        cat: str = "repro",
+        ts: Optional[float] = None,
+        pid: Optional[str] = None,
+        tid: Optional[str] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        pid = pid or self.default_pid
+        tid = tid or self.default_tid
+        event: Dict[str, object] = {
+            "name": name, "cat": cat, "ph": "B",
+            "ts": self._ts(ts), "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+        self._open[(pid, tid)] = self._open.get((pid, tid), 0) + 1
+
+    def end(
+        self,
+        ts: Optional[float] = None,
+        pid: Optional[str] = None,
+        tid: Optional[str] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        pid = pid or self.default_pid
+        tid = tid or self.default_tid
+        depth = self._open.get((pid, tid), 0)
+        if depth <= 0:
+            raise RuntimeError(f"end() without begin() on track {(pid, tid)}")
+        self._open[(pid, tid)] = depth - 1
+        event: Dict[str, object] = {
+            "ph": "E", "ts": self._ts(ts), "pid": pid, "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def span(
+        self,
+        name: str,
+        cat: str = "repro",
+        pid: Optional[str] = None,
+        tid: Optional[str] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> _SpanContext:
+        """Wall-clock duration span: ``with tracer.span("search"): ...``."""
+        pid = pid or self.default_pid
+        tid = tid or self.default_tid
+        self.begin(name, cat=cat, pid=pid, tid=tid, args=args)
+        return _SpanContext(self, pid, tid)
+
+    def complete(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        cat: str = "repro",
+        pid: Optional[str] = None,
+        tid: Optional[str] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """One closed span at explicit timestamps (seconds), as B+E."""
+        self.begin(name, cat=cat, ts=start, pid=pid, tid=tid, args=args)
+        self.end(ts=end, pid=pid, tid=tid)
+
+    def instant(
+        self,
+        name: str,
+        cat: str = "repro",
+        ts: Optional[float] = None,
+        pid: Optional[str] = None,
+        tid: Optional[str] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        event: Dict[str, object] = {
+            "name": name, "cat": cat, "ph": "i", "s": "t",
+            "ts": self._ts(ts),
+            "pid": pid or self.default_pid, "tid": tid or self.default_tid,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def counter(
+        self,
+        name: str,
+        values: Dict[str, float],
+        ts: Optional[float] = None,
+        pid: Optional[str] = None,
+    ) -> None:
+        """A Chrome ``C`` sample (stacked counter track in the viewer)."""
+        self._events.append({
+            "name": name, "ph": "C", "ts": self._ts(ts),
+            "pid": pid or self.default_pid, "tid": 0, "args": dict(values),
+        })
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[Dict[str, object]]:
+        """The recorded events (chronological per emission order)."""
+        return self._events
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._open.clear()
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """Do-nothing tracer: the zero-cost default for every ``obs=`` hook."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def begin(self, *a: object, **kw: object) -> None:  # type: ignore[override]
+        pass
+
+    def end(self, *a: object, **kw: object) -> None:  # type: ignore[override]
+        pass
+
+    def span(self, *a: object, **kw: object):  # type: ignore[override]
+        return _NULL_SPAN
+
+    def complete(self, *a: object, **kw: object) -> None:  # type: ignore[override]
+        pass
+
+    def instant(self, *a: object, **kw: object) -> None:  # type: ignore[override]
+        pass
+
+    def counter(self, *a: object, **kw: object) -> None:  # type: ignore[override]
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -1,0 +1,49 @@
+"""CLI: structurally validate Chrome-trace files emitted by ``repro.obs``.
+
+Usage::
+
+    python -m repro.obs.validate TRACE_OR_DIR [TRACE_OR_DIR ...]
+
+Directories are searched recursively for ``*.trace.json``.  Exits
+non-zero (printing the first violation) if any file fails validation —
+this is the check the CI observability smoke step runs on every PR.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from .chrome_trace import TraceValidationError, validate_trace, validate_trace_dir
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print(__doc__)
+        return 2
+    failures = 0
+    validated = 0
+    for target in argv:
+        try:
+            if os.path.isdir(target):
+                results = validate_trace_dir(target)
+            else:
+                results = {target: validate_trace(target)}
+        except TraceValidationError as exc:
+            print(f"INVALID  {exc}")
+            failures += 1
+            continue
+        for path, counts in sorted(results.items()):
+            validated += 1
+            print(
+                f"ok       {path}: {counts['events']} events, "
+                f"{counts['spans']} spans, {counts['instants']} instants, "
+                f"{counts['counters']} counter samples"
+            )
+    print(f"{validated} trace file(s) valid, {failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,27 +9,46 @@ the ground-truth hardware model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
 class OpRecord:
-    """One kernel execution."""
+    """One kernel execution.
+
+    ``ready`` is the simulated time the op's last input became available
+    (it entered the device's ready queue); ``start - ready`` is therefore
+    the ready-queue wait the Chrome-trace exporter renders.  ``None`` on
+    records produced before waits were tracked.
+    """
 
     op_name: str
     op_type: str
     device: str
     start: float
     end: float
+    ready: Optional[float] = None
 
     @property
     def duration(self) -> float:
         return self.end - self.start
 
+    @property
+    def queue_wait(self) -> float:
+        """Seconds spent ready-but-not-running (0 when untracked)."""
+        if self.ready is None:
+            return 0.0
+        return max(0.0, self.start - self.ready)
+
 
 @dataclass(frozen=True)
 class TransferRecord:
-    """One inter-device tensor copy."""
+    """One inter-device tensor copy.
+
+    ``channel`` is the topology's shared transfer channel the copy was
+    serialized on (empty on records produced before channels were
+    tracked); the Chrome-trace exporter groups transfers by it.
+    """
 
     tensor_name: str
     src_device: str
@@ -37,6 +56,7 @@ class TransferRecord:
     num_bytes: int
     start: float
     end: float
+    channel: str = ""
 
     @property
     def duration(self) -> float:
@@ -76,6 +96,11 @@ class StepTrace:
     def total_memcpy_time(self) -> float:
         """Sum of transfer durations across links."""
         return sum(rec.duration for rec in self.transfer_records)
+
+    @property
+    def total_queue_wait(self) -> float:
+        """Sum of ready-queue waits across ops (0 when untracked)."""
+        return sum(rec.queue_wait for rec in self.op_records)
 
     @property
     def avg_compute_time(self) -> float:

@@ -25,6 +25,7 @@ from typing import Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from ..cluster import Topology
 from ..graph import Graph, Operation
 from ..hardware import PerfModel
+from ..obs import Observability, get_obs
 from ..profiling.trace import OpRecord, StepTrace, TransferRecord
 from .memory import MemoryTracker, SimulationOOMError
 
@@ -55,12 +56,14 @@ class ExecutionSimulator:
         topology: Topology,
         perf_model: PerfModel,
         enforce_memory: bool = True,
+        obs: Optional[Observability] = None,
     ) -> None:
         graph.validate()
         self.graph = graph
         self.topology = topology
         self.perf = perf_model
         self.enforce_memory = enforce_memory
+        self.obs = get_obs(obs)
 
     # ------------------------------------------------------------------
     def run_step(
@@ -84,8 +87,21 @@ class ExecutionSimulator:
         """
         if policy not in (FIFO, PRIORITY):
             raise SimulationError(f"unknown scheduling policy {policy!r}")
-        state = _StepState(self, placement, order, policy)
-        return state.run()
+        obs = self.obs
+        with obs.tracer.span(
+            "sim.step", cat="sim", args={"policy": policy, "graph": self.graph.name}
+        ):
+            state = _StepState(self, placement, order, policy)
+            trace = state.run()
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.counter("sim.steps").inc()
+            metrics.counter("sim.op_executions").inc(len(trace.op_records))
+            metrics.counter("sim.transfers").inc(len(trace.transfer_records))
+            metrics.timer("sim.simulated").add(trace.makespan)
+            metrics.timer("sim.queue_wait").add(trace.total_queue_wait)
+            metrics.gauge("sim.last_makespan").set(trace.makespan)
+        return trace
 
 
 class _StepState:
@@ -138,6 +154,7 @@ class _StepState:
         self.ready: Dict[str, List[Tuple[float, float, int, Operation]]] = {
             d: [] for d in self.device_names
         }
+        self.ready_time: Dict[str, float] = {}
         self.device_busy: Dict[str, bool] = {d: False for d in self.device_names}
         self.channel_busy: Dict[str, bool] = {}
         self.channel_queue: Dict[str, Deque[_Transfer]] = {}
@@ -180,6 +197,7 @@ class _StepState:
     # ------------------------------------------------------------------
     def _enqueue_ready(self, op: Operation, time: float) -> None:
         dev = self.placement[op.name]
+        self.ready_time[op.name] = time
         if self.policy == PRIORITY:
             key = self.priority.get(op.name, _INF)
             heapq.heappush(self.ready[dev], (key, time, next(self.seq), op))
@@ -195,7 +213,10 @@ class _StepState:
         duration = self.sim.perf.op_time(op, self.sim.topology.device(dev))
         end = time + duration
         self.trace.op_records.append(
-            OpRecord(op.name, op.op_type, dev, time, end)
+            OpRecord(
+                op.name, op.op_type, dev, time, end,
+                ready=self.ready_time.get(op.name, time),
+            )
         )
         heapq.heappush(self.events, (end, next(self.seq), "op_finish", op))
 
@@ -274,6 +295,7 @@ class _StepState:
                 transfer.num_bytes,
                 time,
                 end,
+                channel=channel,
             )
         )
         heapq.heappush(

@@ -6,6 +6,7 @@ from repro.cluster import single_server
 from repro.core import (
     FastTConfig,
     FastTSession,
+    SearchOptions,
     Strategy,
     StrategyCalculator,
     fits_on_single_device,
@@ -28,8 +29,8 @@ def big_mlp(graph, prefix, batch):
 @pytest.fixture
 def quick_config():
     return FastTConfig(
-        profiling_steps=1, max_rounds=3, min_rounds=1, max_candidate_ops=2,
-        measure_steps=2,
+        profiling_steps=1, max_rounds=3, min_rounds=1, measure_steps=2,
+        search=SearchOptions(max_candidate_ops=2),
     )
 
 
@@ -99,7 +100,7 @@ class TestCalculatorWorkflow:
     def test_splitting_disabled_produces_no_splits(self, topo2):
         config = FastTConfig(
             profiling_steps=1, max_rounds=2, min_rounds=1,
-            enable_splitting=False, measure_steps=1,
+            measure_steps=1, search=SearchOptions(enable_splitting=False),
         )
         report = self._calculator(topo2, config).run()
         assert report.strategy.split_list == []

@@ -8,7 +8,7 @@ data-parallel replication in every strategy round.
 
 
 from repro.cluster import single_server
-from repro.core import FastTConfig, FastTSession
+from repro.core import FastTConfig, FastTSession, SearchOptions
 from repro.graph import Graph
 from repro.hardware import PerfModel
 
@@ -37,7 +37,7 @@ class TestAlternativeInputs:
             perf_model=PerfModel(topo4, noise_sigma=0.01, seed=6),
             config=FastTConfig(
                 profiling_steps=1, max_rounds=3, min_rounds=1,
-                max_candidate_ops=2, measure_steps=2,
+                measure_steps=2, search=SearchOptions(max_candidate_ops=2),
             ),
         )
         report = session.optimize()
@@ -65,7 +65,7 @@ class TestAlternativeInputs:
             perf_model=PerfModel(topo4, noise_sigma=0.01, seed=11),
             config=FastTConfig(
                 profiling_steps=1, max_rounds=2, min_rounds=1,
-                max_candidate_ops=1, measure_steps=2,
+                measure_steps=2, search=SearchOptions(max_candidate_ops=1),
             ),
         )
         report = session.optimize()

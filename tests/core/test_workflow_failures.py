@@ -7,7 +7,7 @@ strategy (the paper's rollback guarantee).
 
 import pytest
 
-from repro.core import FastTConfig, Strategy, StrategyCalculator
+from repro.core import FastTConfig, SearchOptions, Strategy, StrategyCalculator
 from repro.core.calculator import CalculationReport
 from repro.graph import build_data_parallel_training_graph, data_parallel_placement
 from repro.hardware import PerfModel
@@ -30,7 +30,7 @@ class TestRollbackGuarantee:
     def test_never_ends_worse_than_dp_across_seeds(self, topo2, seed):
         config = FastTConfig(
             profiling_steps=1, max_rounds=3, min_rounds=1,
-            max_candidate_ops=2, measure_steps=2,
+            measure_steps=2, search=SearchOptions(max_candidate_ops=2),
         )
         calculator = _setup(topo2, config, seed=seed, noise=0.03)
         report = calculator.run()
@@ -41,7 +41,7 @@ class TestRollbackGuarantee:
         strategies; the rollback rule must still recover."""
         config = FastTConfig(
             profiling_steps=1, max_rounds=4, min_rounds=1,
-            max_candidate_ops=1, measure_steps=2,
+            measure_steps=2, search=SearchOptions(max_candidate_ops=1),
         )
         calculator = _setup(topo2, config)
 
@@ -65,7 +65,7 @@ class TestOOMHandling:
         round rolls back to the previous strategy."""
         config = FastTConfig(
             profiling_steps=1, max_rounds=3, min_rounds=1,
-            max_candidate_ops=1, measure_steps=1,
+            measure_steps=1, search=SearchOptions(max_candidate_ops=1),
         )
         calculator = _setup(topo2, config)
         report = calculator.run()
@@ -80,7 +80,7 @@ class TestOOMHandling:
 
         config = FastTConfig(
             profiling_steps=1, max_rounds=2, min_rounds=1,
-            max_candidate_ops=1, measure_steps=1,
+            measure_steps=1, search=SearchOptions(max_candidate_ops=1),
         )
         calculator = _setup(topo2, config)
         big_graph = build_single_device_training_graph(huge, 4096, name="huge")
@@ -98,7 +98,7 @@ class TestReportAccounting:
     def test_round_records_describe_workflow(self, topo2):
         config = FastTConfig(
             profiling_steps=1, max_rounds=3, min_rounds=1,
-            max_candidate_ops=1, measure_steps=1,
+            measure_steps=1, search=SearchOptions(max_candidate_ops=1),
         )
         report = _setup(topo2, config).run()
         assert isinstance(report, CalculationReport)
@@ -108,7 +108,7 @@ class TestReportAccounting:
     def test_restart_overhead_counted_per_activation(self, topo2):
         config = FastTConfig(
             profiling_steps=1, max_rounds=3, min_rounds=1,
-            max_candidate_ops=1, measure_steps=1,
+            measure_steps=1, search=SearchOptions(max_candidate_ops=1),
             restart_overhead_seconds=7.0,
         )
         report = _setup(topo2, config).run()

@@ -99,6 +99,61 @@ class TestTrialCache:
         ))
         assert a.model == "a" and b.model == "b"
 
+    @staticmethod
+    def _cache_path(tmp_path, key):
+        import hashlib
+        import json
+
+        from repro.experiments.harness import CACHE_SCHEMA_VERSION
+
+        digest = hashlib.sha256(
+            json.dumps({"schema": CACHE_SCHEMA_VERSION, "key": key},
+                       sort_keys=True).encode()
+        ).hexdigest()[:24]
+        return tmp_path / f"{digest}.json"
+
+    def test_envelope_records_schema_version(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.experiments.harness import CACHE_SCHEMA_VERSION
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        key = {"unit": "schema"}
+        cached_trial(key, lambda: TrialResult(
+            model="m", method="dp", num_gpus=1, num_servers=1, global_batch=1,
+        ))
+        stored = json.loads(self._cache_path(tmp_path, key).read_text())
+        assert stored["schema"] == CACHE_SCHEMA_VERSION
+        assert stored["key"] == key
+
+    def test_schema_mismatch_invalidates(self, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        key = {"unit": "stale"}
+        path = self._cache_path(tmp_path, key)
+        path.write_text(json.dumps({
+            "schema": -1, "key": key,
+            "result": {"model": "stale-format"},
+        }))
+        result = cached_trial(key, lambda: TrialResult(
+            model="fresh", method="dp", num_gpus=1, num_servers=1,
+            global_batch=1,
+        ))
+        assert result.model == "fresh", "stale-schema entry must be recomputed"
+        stored = json.loads(path.read_text())
+        assert stored["result"]["model"] == "fresh"
+
+    def test_corrupt_file_invalidates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        key = {"unit": "corrupt"}
+        self._cache_path(tmp_path, key).write_text("{truncated")
+        result = cached_trial(key, lambda: TrialResult(
+            model="fresh", method="dp", num_gpus=1, num_servers=1,
+            global_batch=1,
+        ))
+        assert result.model == "fresh"
+
 
 class TestTrialRunners:
     def test_dp_trial_on_lenet(self):

@@ -1,0 +1,143 @@
+"""Unit suite for the repro.obs metrics registry."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricsSnapshot, NullMetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("search.runs")
+        assert c.value == 0
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc()
+        assert reg.counter("a").value == 2
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("sim.last_makespan")
+        g.set(2.5)
+        assert g.value == 2.5
+        g.inc(0.5)
+        assert g.value == 3.0
+
+
+class TestTimer:
+    def test_add_accumulates_seconds_and_count(self):
+        reg = MetricsRegistry()
+        t = reg.timer("sim.simulated")
+        t.add(1.5)
+        t.add(0.5, count=2)
+        assert t.seconds == 2.0
+        assert t.count == 3
+
+    def test_context_manager_measures_wall_time(self):
+        reg = MetricsRegistry()
+        t = reg.timer("wall")
+        with t:
+            pass
+        assert t.count == 1
+        assert t.seconds >= 0.0
+
+
+class TestSnapshot:
+    def test_flattens_all_instrument_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.timer("t").add(0.25)
+        snap = reg.snapshot()
+        assert isinstance(snap, MetricsSnapshot)
+        assert snap["c"] == 2
+        assert snap["g"] == 1.5
+        assert snap["t.seconds"] == 0.25
+        assert snap["t.count"] == 1
+
+    def test_snapshot_is_frozen_copy(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        snap = reg.snapshot()
+        reg.counter("c").inc()
+        assert snap["c"] == 1
+
+    def test_counters_prefix_filter(self):
+        snap = MetricsSnapshot(
+            {"search.a": 1, "search.b": 2, "sim.steps": 3}
+        )
+        assert snap.counters("search.") == {"search.a": 1, "search.b": 2}
+
+
+class TestMerge:
+    def test_merge_sums_counters_and_timers(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        a.timer("t").add(1.0)
+        b.timer("t").add(2.0, count=4)
+        b.gauge("g").set(9.0)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["c"] == 3
+        assert snap["t.seconds"] == 3.0
+        assert snap["t.count"] == 5
+        assert snap["g"] == 9.0
+
+
+class TestNullRegistry:
+    def test_all_instruments_are_inert(self):
+        reg = NullMetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(3)
+        with reg.timer("t"):
+            pass
+        assert reg.snapshot() == {}
+
+    def test_shared_instance(self):
+        reg = NullMetricsRegistry()
+        assert reg.counter("a") is reg.counter("b")
+
+
+class TestResultViews:
+    def test_osdpos_result_counters_are_metric_views(self, topo4):
+        pytest.importorskip("repro.core")
+        from repro.core import DPOS, OSDPOS
+        from repro.costmodel import (
+            OracleCommunicationModel,
+            OracleComputationModel,
+        )
+        from repro.graph import Graph
+        from repro.hardware import PerfModel
+
+        g = Graph("heavy")
+        a = g.create_op(
+            "Placeholder", "a", attrs={"shape": (512, 512)}
+        ).outputs[0]
+        b = g.create_op("Variable", "b", attrs={"shape": (512, 512)}).outputs[0]
+        mm = g.create_op("MatMul", "mm", [a, b]).outputs[0]
+        g.create_op("Relu", "relu", [mm])
+
+        perf = PerfModel(topo4)
+        result = OSDPOS(
+            DPOS(
+                topo4,
+                OracleComputationModel(perf),
+                OracleCommunicationModel(perf),
+            )
+        ).run(g)
+        assert result.candidates_evaluated == result.metrics.get(
+            "search.candidates_evaluated", 0
+        )
+        assert result.candidates_pruned == result.metrics.get(
+            "search.candidates_pruned", 0
+        )
+        assert "search.cache.misses" in result.metrics

@@ -1,0 +1,81 @@
+"""Unit suite for the repro.obs span/event tracer."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer
+
+
+class TestSpans:
+    def test_begin_end_pair(self):
+        tr = Tracer()
+        tr.begin("work", cat="test")
+        tr.end()
+        phases = [e["ph"] for e in tr.events]
+        assert phases == ["B", "E"]
+        assert tr.events[0]["name"] == "work"
+        assert tr.events[0]["cat"] == "test"
+
+    def test_span_context_manager(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        names = [(e["ph"], e.get("name")) for e in tr.events]
+        assert names[0] == ("B", "outer")
+        assert names[1] == ("B", "inner")
+        assert [ph for ph, _ in names] == ["B", "B", "E", "E"]
+
+    def test_end_without_begin_raises(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            tr.end()
+
+    def test_complete_uses_explicit_timestamps(self):
+        tr = Tracer()
+        tr.complete("op", 1.0, 2.5, cat="sim")
+        begin, end = tr.events
+        assert begin["ts"] == pytest.approx(1.0e6)
+        assert end["ts"] == pytest.approx(2.5e6)
+
+    def test_timestamps_monotonic_nondecreasing(self):
+        tr = Tracer()
+        for _ in range(5):
+            with tr.span("s"):
+                pass
+        ts = [e["ts"] for e in tr.events]
+        assert ts == sorted(ts)
+
+
+class TestInstantAndCounter:
+    def test_instant_event(self):
+        tr = Tracer()
+        tr.instant("checkpoint", args={"round": 1})
+        (event,) = tr.events
+        assert event["ph"] == "i"
+        assert event["args"] == {"round": 1}
+
+    def test_counter_event(self):
+        tr = Tracer()
+        tr.counter("memory", {"gpu0": 12, "gpu1": 7})
+        (event,) = tr.events
+        assert event["ph"] == "C"
+        assert event["args"] == {"gpu0": 12, "gpu1": 7}
+
+    def test_clear(self):
+        tr = Tracer()
+        tr.instant("x")
+        tr.clear()
+        assert tr.events == []
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything"):
+            NULL_TRACER.instant("nothing")
+        assert NULL_TRACER.events == []
+
+    def test_shared_span_context(self):
+        a = NULL_TRACER.span("a")
+        b = NULL_TRACER.span("b")
+        assert a is b

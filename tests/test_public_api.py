@@ -1,0 +1,113 @@
+"""Public API surface: every ``__all__`` name resolves, and the
+one-call :func:`repro.optimize` facade works end-to-end on a tiny model.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import (
+    FastTConfig,
+    MetricsSnapshot,
+    Observability,
+    OptimizeResult,
+    SearchOptions,
+    optimize,
+    single_server,
+)
+
+
+class TestSurface:
+    def test_every_all_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_key_entry_points_exported(self):
+        for name in (
+            "optimize",
+            "OptimizeResult",
+            "SearchOptions",
+            "OSDPOSResult",
+            "Observability",
+            "MetricsSnapshot",
+            "NULL_OBS",
+            "FastTSession",
+            "FastTConfig",
+        ):
+            assert name in repro.__all__, name
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+def tiny_config():
+    return FastTConfig(
+        max_rounds=1,
+        min_rounds=1,
+        profiling_steps=1,
+        search=SearchOptions(max_candidate_ops=2, split_counts=[2]),
+    )
+
+
+class TestOptimize:
+    def test_by_model_name(self):
+        result = optimize("lenet", single_server(2), config=tiny_config())
+        assert isinstance(result, OptimizeResult)
+        assert result.model_name == "lenet"
+        assert result.num_devices == 2
+        assert result.iteration_time > 0
+        assert result.training_speed > 0
+        assert set(result.strategy.placement.values()) <= set(
+            single_server(2).device_names
+        )
+        assert "iteration" in result.summary()
+
+    def test_metrics_come_from_obs_when_enabled(self):
+        obs = Observability()
+        result = optimize(
+            "lenet", single_server(2), config=tiny_config(), obs=obs
+        )
+        assert isinstance(result.metrics, MetricsSnapshot)
+        assert result.metrics.get("search.runs", 0) >= 1
+        assert len(obs.tracer.events) > 0
+
+    def test_unknown_model_name_raises(self):
+        with pytest.raises(KeyError):
+            optimize("no-such-model", single_server(2))
+
+    def test_callable_requires_global_batch(self):
+        with pytest.raises(TypeError):
+            optimize(lambda: None, single_server(2))
+
+
+class TestConfigDeprecations:
+    """Old flat FastTConfig search knobs warn but keep working."""
+
+    def test_init_kwarg_warns_and_is_equivalent(self):
+        with pytest.warns(DeprecationWarning):
+            old = FastTConfig(naive_search=True, search_workers=3)
+        new = FastTConfig(search=SearchOptions(naive=True, workers=3))
+        assert old.search.naive == new.search.naive == True  # noqa: E712
+        assert old.search.workers == new.search.workers == 3
+
+    def test_attribute_read_warns_and_delegates(self):
+        config = FastTConfig(search=SearchOptions(max_candidate_ops=7))
+        with pytest.warns(DeprecationWarning):
+            assert config.max_candidate_ops == 7
+
+    def test_attribute_write_warns_and_delegates(self):
+        config = FastTConfig()
+        with pytest.warns(DeprecationWarning):
+            config.enable_splitting = False
+        assert config.search.enable_splitting is False
+
+    def test_new_style_config_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = FastTConfig(search=SearchOptions(naive=True))
+            assert config.search.naive is True
+
+    def test_search_options_rejects_positional_args(self):
+        with pytest.raises(TypeError):
+            SearchOptions(False)
