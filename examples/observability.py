@@ -16,6 +16,12 @@ https://ui.perfetto.dev.  The same files are what the benchmark suite's
 ``--trace-dir`` flag writes per trial, and what CI validates with
 ``python -m repro.obs.validate``.
 
+It then *explains* the deployment with ``repro.obs.analyze``: the
+critical path of one simulated step with every nanosecond attributed to
+{compute, transfer, wait, idle}, per-device utilization/overlap, and a
+strategy diff against a 4-GPU deployment of the same model.  See the
+"Explaining a strategy" sections of README.md and EXPERIMENTS.md.
+
     python examples/observability.py [output-dir]
 """
 
@@ -66,6 +72,23 @@ def main() -> None:
     #    trace output.
     for path, counts in validate_trace_dir(out).items():
         print(f"valid: {path}  {counts}")
+
+    # 5. Explain the strategy: critical path + attribution + per-device
+    #    utilization.  ``trace.save`` writes the serialized StepTrace the
+    #    ``python -m repro.obs.analyze`` CLI consumes.
+    trace.save(f"{out}/step.step.json")
+    analysis = result.explain()
+    print()
+    print(analysis.render())
+    attribution = analysis.critical_path.attribution()
+    print(f"\nattributed total = {sum(attribution.values()) * 1000:.3f} ms "
+          f"(= makespan {analysis.makespan * 1000:.3f} ms)")
+
+    # 6. Strategy diff: why does 4 GPUs differ from 2?  Attributes the
+    #    makespan delta to the specific ops that moved or were split.
+    other = repro.optimize("lenet", single_server(4))
+    print()
+    print(result.diff(other).render())
 
 
 if __name__ == "__main__":

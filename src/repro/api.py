@@ -26,7 +26,7 @@ export a Chrome-trace timeline::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from .cluster import Topology
 from .core.calculator import CalculationReport, FastTConfig
@@ -37,6 +37,9 @@ from .hardware import PerfModel
 from .models import get_model
 from .models.registry import ModelSpec
 from .obs import MetricsSnapshot, Observability
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .obs.analyze import StepAnalysis, TraceDiff
 
 #: What ``optimize`` accepts as its model argument: a model-zoo name, a
 #: :class:`~repro.models.registry.ModelSpec`, or a bare model-builder
@@ -76,6 +79,36 @@ class OptimizeResult:
         if not self.iteration_time or initial == float("inf"):
             return 1.0
         return initial / self.iteration_time
+
+    def explain(self, steps: int = 1) -> "StepAnalysis":
+        """Fig. 5-style attribution of one step under this strategy.
+
+        Re-simulates ``steps`` iterations through the live session and
+        analyzes the last one: the critical path with every nanosecond
+        attributed to {compute, transfer, wait, idle}, per-device
+        utilization/overlap, straggler detection, and per-channel
+        congestion.  ``print(result.explain().render())`` for the TTY
+        report; ``.to_json()`` for the machine-readable one.
+        """
+        from .obs.analyze import analyze_step
+
+        trace = self.session.run(steps)[-1]
+        return analyze_step(
+            trace, label=f"{self.model_name}/{self.strategy.label}"
+        )
+
+    def diff(self, other: "OptimizeResult", steps: int = 1) -> "TraceDiff":
+        """Explain why this result's strategy differs from ``other``'s.
+
+        Diffs placements, priorities, and split decisions, re-simulates
+        both strategies, and attributes the makespan delta to specific
+        moved/split ops (``render()`` / ``to_json()`` on the returned
+        :class:`~repro.obs.analyze.TraceDiff`).  ``self`` is the A side,
+        ``other`` the B side.
+        """
+        from .obs.analyze import diff_results
+
+        return diff_results(self, other, steps=steps)
 
     def summary(self) -> str:
         """A short human-readable account of the optimization."""

@@ -36,6 +36,7 @@ from ..obs import (
     ensure_dir,
     export_step_trace,
     export_tracer,
+    write_gate_summary,
     write_metrics_json,
 )
 from ..profiling import StepTrace
@@ -85,18 +86,52 @@ def _trial_obs() -> Optional[Observability]:
     return Observability() if _TRACE_DIR else None
 
 
+def _trial_stem(result: "TrialResult") -> str:
+    return (
+        f"{result.model}_{result.method}_"
+        f"{result.num_gpus}x{result.num_servers}"
+    )
+
+
+def _export_summary(result: "TrialResult") -> None:
+    """One gate-comparable ``<stem>.summary.json`` per trial.
+
+    This is what ``python -m repro.obs.analyze --baseline/--candidate``
+    (the perf regression gate) compares between two ``--trace-dir``
+    runs; unlike the trace exports it is (re)written even when the
+    trial came from the disk cache, so a cached run still produces a
+    complete gate input.
+    """
+    if not _TRACE_DIR:
+        return
+    write_gate_summary(
+        os.path.join(_TRACE_DIR, f"{_trial_stem(result)}.summary.json"),
+        model=result.model,
+        method=result.method,
+        num_gpus=result.num_gpus,
+        num_servers=result.num_servers,
+        global_batch=result.global_batch,
+        oom=result.oom,
+        iteration_time=(
+            None if result.iteration_time != result.iteration_time
+            else result.iteration_time
+        ),
+        speed=None if result.speed != result.speed else result.speed,
+        search_seconds=result.search_seconds or None,
+        algorithm_seconds=result.algorithm_seconds or None,
+        devices_used=result.devices_used,
+    )
+
+
 def _export_trial(
     result: "TrialResult",
     obs: Optional[Observability] = None,
     traces: Optional[List[StepTrace]] = None,
 ) -> None:
-    """Write ``<model>_<method>_<G>x<S>.{trace,metrics,step.trace}`` files."""
+    """Write ``<model>_<method>_<G>x<S>.{trace,metrics,step}`` files."""
     if not _TRACE_DIR:
         return
-    stem = (
-        f"{result.model}_{result.method}_"
-        f"{result.num_gpus}x{result.num_servers}"
-    )
+    stem = _trial_stem(result)
     base = os.path.join(_TRACE_DIR, stem)
     if obs is not None and obs.enabled:
         export_tracer(f"{base}.trace.json", obs.tracer)
@@ -112,6 +147,9 @@ def _export_trial(
         )
     if traces:
         export_step_trace(f"{base}.step.trace.json", traces[-1])
+        # The analyzer's input: the same step, schema-versioned, with
+        # blocking edges — what `python -m repro.obs.analyze` reads.
+        traces[-1].save(f"{base}.step.json")
 
 
 @dataclass
@@ -417,9 +455,11 @@ def trial(
         "version": 5,
     }
     runner = _RUNNERS[method]
-    return cached_trial(
+    result = cached_trial(
         key, lambda: runner(model, num_gpus, num_servers, batch, seed=seed)
     )
+    _export_summary(result)
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -494,12 +534,28 @@ def order_enforcement_comparison(
     fifo_strategy = Strategy(placement=strategy.placement, order=[], label="fifo")
     fifo = measure_strategy(report.graph, fifo_strategy, topology, perf, steps)
     enforced = measure_strategy(report.graph, strategy, topology, perf, steps)
+    fifo_time = sum(t.makespan for t in fifo) / len(fifo)
+    enforced_time = sum(t.makespan for t in enforced) / len(enforced)
     if _TRACE_DIR:
         base = os.path.join(_TRACE_DIR, f"{model_name}_fig2_{num_gpus}gpu")
         export_step_trace(f"{base}.fifo.step.trace.json", fifo[-1])
         export_step_trace(f"{base}.enforced.step.trace.json", enforced[-1])
-    fifo_time = sum(t.makespan for t in fifo) / len(fifo)
-    enforced_time = sum(t.makespan for t in enforced) / len(enforced)
+        for variant, traces, mean_time in (
+            ("fifo", fifo, fifo_time),
+            ("enforced", enforced, enforced_time),
+        ):
+            traces[-1].save(f"{base}.{variant}.step.json")
+            write_gate_summary(
+                os.path.join(
+                    _TRACE_DIR,
+                    f"{model_name}_fig2{variant}_{num_gpus}x1.summary.json",
+                ),
+                model=model_name,
+                method=f"fig2_{variant}",
+                num_gpus=num_gpus,
+                num_servers=1,
+                iteration_time=mean_time,
+            )
     return {
         "fifo_time": fifo_time,
         "enforced_time": enforced_time,

@@ -94,13 +94,45 @@ class Observability:
 #: Shared disabled instance: the default for every ``obs=`` parameter.
 NULL_OBS = Observability(enabled=False)
 
+#: Analysis-layer names re-exported lazily (PEP 562) so that
+#: ``python -m repro.obs.analyze`` does not import the submodule twice
+#: (once as a package attribute, once as ``__main__``), which would
+#: trip runpy's double-import warning.
+_ANALYZE_EXPORTS = (
+    "ChannelReport",
+    "CriticalPath",
+    "DeviceReport",
+    "GateReport",
+    "PathSegment",
+    "StepAnalysis",
+    "StrategyDiff",
+    "TraceDiff",
+    "analyze_step",
+    "analyze_utilization",
+    "compare_runs",
+    "diff_results",
+    "diff_strategies",
+    "diff_traces",
+    "extract_critical_path",
+    "load_gate_summaries",
+    "write_gate_summary",
+)
+
+
+def __getattr__(name: str):
+    if name in _ANALYZE_EXPORTS:
+        from . import analyze
+
+        return getattr(analyze, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 def get_obs(obs: Optional[Observability]) -> Observability:
     """Normalize an ``obs=`` argument (None -> the shared null hook)."""
     return NULL_OBS if obs is None else obs
 
 
-__all__ = [
+__all__ = list(_ANALYZE_EXPORTS) + [
     "Counter",
     "Gauge",
     "MetricsRegistry",

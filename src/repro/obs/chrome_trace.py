@@ -21,7 +21,7 @@ way the golden tests and the CI smoke step do.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from ..profiling.trace import StepTrace
 
@@ -124,7 +124,11 @@ def validate_trace(source: Union[str, Dict[str, object]]) -> Dict[str, int]:
     known phase and numeric non-negative ``ts``, timestamps on each
     ``(pid, tid)`` track are monotonically non-decreasing, ``X`` events
     carry a numeric non-negative ``dur``, and ``B``/``E`` events pair up
-    (properly nested, none left open).  Returns summary counts; raises
+    (properly nested, none left open).  Kernel spans (``X`` events whose
+    ``cat`` starts with ``compute``) must not overlap on one device row —
+    the simulator's devices execute serially — and likewise transfer
+    spans on one channel row; ready-queue wait spans legitimately overlap
+    other ops' kernels and are exempt.  Returns summary counts; raises
     :class:`TraceValidationError` on the first violation.
     """
     if isinstance(source, str):
@@ -143,6 +147,9 @@ def validate_trace(source: Union[str, Dict[str, object]]) -> Dict[str, int]:
 
     last_ts: Dict[tuple, float] = {}
     stacks: Dict[tuple, List[str]] = {}
+    # (pid, tid, serial-class) -> end of the last such X span, to reject
+    # overlapping kernels on a device row / copies on a channel row.
+    last_span_end: Dict[tuple, Tuple[float, str]] = {}
     counts = {"events": 0, "spans": 0, "instants": 0, "counters": 0}
     for index, event in enumerate(events):
         if not isinstance(event, dict):
@@ -181,6 +188,27 @@ def validate_trace(source: Union[str, Dict[str, object]]) -> Dict[str, int]:
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 raise TraceValidationError(f"event {index}: bad dur {dur!r}")
+            cat = event.get("cat")
+            serial_class = None
+            if isinstance(cat, str):
+                if cat.startswith("compute"):
+                    serial_class = "compute"
+                elif cat == "transfer":
+                    serial_class = "transfer"
+            if serial_class is not None:
+                span_key = (event["pid"], event["tid"], serial_class)
+                previous = last_span_end.get(span_key)
+                if previous is not None and ts < previous[0] - 1e-9:
+                    raise TraceValidationError(
+                        f"event {index}: {serial_class} span "
+                        f"{event.get('name')!r} starts at {ts} before "
+                        f"{previous[1]!r} ends at {previous[0]} on track "
+                        f"{(event['pid'], event['tid'])} — serialized "
+                        "rows must not overlap"
+                    )
+                end = float(ts) + float(dur)
+                if previous is None or end > previous[0]:
+                    last_span_end[span_key] = (end, str(event.get("name")))
             counts["spans"] += 1
         elif phase == "i":
             counts["instants"] += 1

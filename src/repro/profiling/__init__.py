@@ -1,13 +1,21 @@
 """Profiling: step traces and cost-model measurement (RunMetadata analogue)."""
 
 from .profiler import ProfileResult, Profiler, update_cost_models
-from .trace import OpRecord, StepTrace, TransferRecord
+from .trace import (
+    TRACE_SCHEMA_VERSION,
+    OpRecord,
+    StepTrace,
+    TraceSchemaError,
+    TransferRecord,
+)
 
 __all__ = [
     "OpRecord",
     "ProfileResult",
     "Profiler",
     "StepTrace",
+    "TRACE_SCHEMA_VERSION",
+    "TraceSchemaError",
     "TransferRecord",
     "update_cost_models",
 ]

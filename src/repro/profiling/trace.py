@@ -4,12 +4,31 @@ Each simulated training iteration yields a :class:`StepTrace` of per-op
 execution records and per-tensor transfer records.  FastT's cost models
 are fitted *only* from these traces (Sec. 4, Cost Models), never from
 the ground-truth hardware model.
+
+Traces serialize to a versioned JSON document (``StepTrace.save`` /
+``StepTrace.load``) so the analysis layer (``repro.obs.analyze``) works
+on traces read back from disk, not just on live objects.  Schema v1
+carried only start/end times; v2 persists ``queued_at``/``started_at``
+per op, the blocking-input edge the simulator recorded, and transfer
+queue times.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+#: Version of the ``*.step.json`` serialization.  v1: op records carried
+#: only ``started_at``/``finished_at``.  v2: ops persist ``queued_at``
+#: (ready-queue entry) and ``blocked_by`` (the input event that made the
+#: op ready), transfers persist ``queued_at`` (channel-queue entry) and
+#: ``producer`` — everything critical-path extraction needs to be exact.
+TRACE_SCHEMA_VERSION = 2
+
+
+class TraceSchemaError(ValueError):
+    """A serialized StepTrace has an unknown or malformed schema."""
 
 
 @dataclass(frozen=True)
@@ -20,6 +39,13 @@ class OpRecord:
     (it entered the device's ready queue); ``start - ready`` is therefore
     the ready-queue wait the Chrome-trace exporter renders.  ``None`` on
     records produced before waits were tracked.
+
+    ``blocked_by`` names the input event whose arrival made the op ready
+    — ``"op:<name>"`` for a same-device producer, or
+    ``"transfer:<tensor>|<src>|<dst>"`` for an inter-device copy (``|``
+    separators because tensor and device names contain ``:``); ``None``
+    for source ops (ready at t=0) or on records produced before blocking
+    edges were tracked.  Critical-path extraction follows these edges.
     """
 
     op_name: str
@@ -28,10 +54,26 @@ class OpRecord:
     start: float
     end: float
     ready: Optional[float] = None
+    blocked_by: Optional[str] = None
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    @property
+    def queued_at(self) -> Optional[float]:
+        """Alias of ``ready``: when the op entered the ready queue."""
+        return self.ready
+
+    @property
+    def started_at(self) -> float:
+        """Alias of ``start`` (the serialized field name)."""
+        return self.start
+
+    @property
+    def finished_at(self) -> float:
+        """Alias of ``end`` (the serialized field name)."""
+        return self.end
 
     @property
     def queue_wait(self) -> float:
@@ -39,6 +81,40 @@ class OpRecord:
         if self.ready is None:
             return 0.0
         return max(0.0, self.start - self.ready)
+
+    def to_json(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "op_name": self.op_name,
+            "op_type": self.op_type,
+            "device": self.device,
+            "started_at": self.start,
+            "finished_at": self.end,
+        }
+        if self.ready is not None:
+            data["queued_at"] = self.ready
+        if self.blocked_by is not None:
+            data["blocked_by"] = self.blocked_by
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "OpRecord":
+        return cls(
+            op_name=str(data["op_name"]),
+            op_type=str(data.get("op_type", "")),
+            device=str(data["device"]),
+            start=float(data["started_at"]),  # type: ignore[arg-type]
+            end=float(data["finished_at"]),  # type: ignore[arg-type]
+            ready=(
+                float(data["queued_at"])  # type: ignore[arg-type]
+                if data.get("queued_at") is not None
+                else None
+            ),
+            blocked_by=(
+                str(data["blocked_by"])
+                if data.get("blocked_by") is not None
+                else None
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -48,6 +124,12 @@ class TransferRecord:
     ``channel`` is the topology's shared transfer channel the copy was
     serialized on (empty on records produced before channels were
     tracked); the Chrome-trace exporter groups transfers by it.
+
+    ``queued_at`` is when the copy was requested (its producer finished);
+    ``start - queued_at`` is therefore the time spent queued behind other
+    copies on the shared channel — the analyzer's congestion signal.
+    ``producer`` names the op whose output the tensor is, so the
+    critical-path walk can continue past a transfer without the graph.
     """
 
     tensor_name: str
@@ -57,10 +139,53 @@ class TransferRecord:
     start: float
     end: float
     channel: str = ""
+    queued_at: Optional[float] = None
+    producer: str = ""
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    @property
+    def channel_wait(self) -> float:
+        """Seconds queued behind other copies on the shared channel."""
+        if self.queued_at is None:
+            return 0.0
+        return max(0.0, self.start - self.queued_at)
+
+    def to_json(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "tensor_name": self.tensor_name,
+            "src_device": self.src_device,
+            "dst_device": self.dst_device,
+            "num_bytes": self.num_bytes,
+            "started_at": self.start,
+            "finished_at": self.end,
+            "channel": self.channel,
+        }
+        if self.queued_at is not None:
+            data["queued_at"] = self.queued_at
+        if self.producer:
+            data["producer"] = self.producer
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "TransferRecord":
+        return cls(
+            tensor_name=str(data["tensor_name"]),
+            src_device=str(data["src_device"]),
+            dst_device=str(data["dst_device"]),
+            num_bytes=int(data["num_bytes"]),  # type: ignore[arg-type]
+            start=float(data["started_at"]),  # type: ignore[arg-type]
+            end=float(data["finished_at"]),  # type: ignore[arg-type]
+            channel=str(data.get("channel", "")),
+            queued_at=(
+                float(data["queued_at"])  # type: ignore[arg-type]
+                if data.get("queued_at") is not None
+                else None
+            ),
+            producer=str(data.get("producer", "")),
+        )
 
 
 @dataclass
@@ -114,3 +239,84 @@ class StepTrace:
         for rec in self.op_records:
             counts[rec.device] = counts.get(rec.device, 0) + 1
         return counts
+
+    def device_names(self) -> List[str]:
+        """Every device the trace mentions (records or peak memory)."""
+        names = {rec.device for rec in self.op_records}
+        for rec in self.transfer_records:
+            names.add(rec.src_device)
+            names.add(rec.dst_device)
+        names.update(self.peak_memory)
+        return sorted(names)
+
+    # ------------------------------------------------------------------
+    # Versioned serialization (the analyzer's on-disk input format)
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        """A schema-versioned JSON document of the full trace."""
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "makespan": self.makespan,
+            "peak_memory": {k: int(v) for k, v in sorted(self.peak_memory.items())},
+            "op_records": [rec.to_json() for rec in self.op_records],
+            "transfer_records": [rec.to_json() for rec in self.transfer_records],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "StepTrace":
+        """Rebuild a trace from :meth:`to_json` output.
+
+        Accepts schema 1 (no ``queued_at``/``blocked_by``/``producer``
+        keys — the per-record parsers default them) and the current
+        schema 2; anything newer or unrecognizable raises
+        :class:`TraceSchemaError` instead of deserializing garbage.
+        """
+        if not isinstance(data, dict) or "op_records" not in data:
+            raise TraceSchemaError(
+                "serialized StepTrace must be an object with 'op_records'"
+            )
+        schema = data.get("schema")
+        if schema not in (1, TRACE_SCHEMA_VERSION):
+            raise TraceSchemaError(
+                f"unsupported StepTrace schema {schema!r} "
+                f"(this build reads 1..{TRACE_SCHEMA_VERSION})"
+            )
+        try:
+            trace = cls(
+                op_records=[
+                    OpRecord.from_json(rec)  # type: ignore[arg-type]
+                    for rec in data["op_records"]  # type: ignore[union-attr]
+                ],
+                transfer_records=[
+                    TransferRecord.from_json(rec)  # type: ignore[arg-type]
+                    for rec in data.get("transfer_records", [])  # type: ignore[union-attr]
+                ],
+                makespan=float(data.get("makespan", 0.0)),  # type: ignore[arg-type]
+                peak_memory={
+                    str(k): int(v)  # type: ignore[arg-type]
+                    for k, v in dict(data.get("peak_memory", {})).items()  # type: ignore[arg-type]
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceSchemaError(f"malformed StepTrace record: {exc}") from exc
+        if not trace.makespan:
+            ends = [rec.end for rec in trace.op_records]
+            ends.extend(rec.end for rec in trace.transfer_records)
+            trace.makespan = max(ends, default=0.0)
+        return trace
+
+    def save(self, path: str) -> str:
+        """Write the versioned JSON document; returns ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=1)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "StepTrace":
+        """Read a trace written by :meth:`save`."""
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise TraceSchemaError(f"{path}: invalid JSON: {exc}") from exc
+        return cls.from_json(data)

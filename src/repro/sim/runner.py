@@ -45,6 +45,8 @@ class _Transfer:
     dst: str
     num_bytes: int
     consumers: int
+    queued_at: float = 0.0
+    producer: str = ""
 
 
 class ExecutionSimulator:
@@ -155,6 +157,10 @@ class _StepState:
             d: [] for d in self.device_names
         }
         self.ready_time: Dict[str, float] = {}
+        # op name -> the input event whose arrival made it ready
+        # ("op:<name>" or "transfer:<tensor>:<src>-><dst>"), recorded so
+        # critical-path extraction is exact rather than inferred.
+        self.blocked_by: Dict[str, Optional[str]] = {}
         self.device_busy: Dict[str, bool] = {d: False for d in self.device_names}
         self.channel_busy: Dict[str, bool] = {}
         self.channel_queue: Dict[str, Deque[_Transfer]] = {}
@@ -195,9 +201,12 @@ class _StepState:
         return self.trace
 
     # ------------------------------------------------------------------
-    def _enqueue_ready(self, op: Operation, time: float) -> None:
+    def _enqueue_ready(
+        self, op: Operation, time: float, cause: Optional[str] = None
+    ) -> None:
         dev = self.placement[op.name]
         self.ready_time[op.name] = time
+        self.blocked_by[op.name] = cause
         if self.policy == PRIORITY:
             key = self.priority.get(op.name, _INF)
             heapq.heappush(self.ready[dev], (key, time, next(self.seq), op))
@@ -216,6 +225,7 @@ class _StepState:
             OpRecord(
                 op.name, op.op_type, dev, time, end,
                 ready=self.ready_time.get(op.name, time),
+                blocked_by=self.blocked_by.get(op.name),
             )
         )
         heapq.heappush(self.events, (end, next(self.seq), "op_finish", op))
@@ -244,17 +254,23 @@ class _StepState:
             self.memory.release(t_name, dev)
         # Outputs become available locally and trigger remote transfers.
         for t in op.outputs:
-            self._mark_available(t.name, dev, time)
+            self._mark_available(t.name, dev, time, cause=f"op:{op.name}")
             per_dev = self.consumers_by_device.get(t.name, {})
             for dst, ops in per_dev.items():
                 if dst == dev:
                     continue
                 self._enqueue_transfer(
-                    _Transfer(t.name, dev, dst, t.size_bytes, len(ops)), time
+                    _Transfer(
+                        t.name, dev, dst, t.size_bytes, len(ops),
+                        queued_at=time, producer=op.name,
+                    ),
+                    time,
                 )
         self._dispatch_device(dev, time)
 
-    def _mark_available(self, tensor_name: str, dev: str, time: float) -> None:
+    def _mark_available(
+        self, tensor_name: str, dev: str, time: float, cause: Optional[str] = None
+    ) -> None:
         key = (tensor_name, dev)
         if key in self.available:
             return
@@ -262,7 +278,7 @@ class _StepState:
         for op in self.consumers_by_device.get(tensor_name, {}).get(dev, ()):
             self.deps_remaining[op.name] -= 1
             if self.deps_remaining[op.name] == 0:
-                self._enqueue_ready(op, time)
+                self._enqueue_ready(op, time, cause=cause)
         self._dispatch_device(dev, time)
 
     # ------------------------------------------------------------------
@@ -296,6 +312,8 @@ class _StepState:
                 time,
                 end,
                 channel=channel,
+                queued_at=transfer.queued_at,
+                producer=transfer.producer,
             )
         )
         heapq.heappush(
@@ -306,7 +324,15 @@ class _StepState:
         channel, transfer = payload
         # The source copy drops the reference held for this transfer.
         self.memory.release(transfer.tensor_name, transfer.src)
-        self._mark_available(transfer.tensor_name, transfer.dst, time)
+        self._mark_available(
+            transfer.tensor_name,
+            transfer.dst,
+            time,
+            cause=(
+                f"transfer:{transfer.tensor_name}|"
+                f"{transfer.src}|{transfer.dst}"
+            ),
+        )
         queue = self.channel_queue.get(channel)
         if queue:
             self._start_transfer(channel, queue.popleft(), time)

@@ -171,6 +171,65 @@ class TestStructuralChecks:
             validate_trace(str(path))
 
 
+def overlapping_kernels_trace() -> StepTrace:
+    """Failing fixture: two kernels overlap on one device.
+
+    A device executes serially in the simulator; a trace claiming
+    otherwise is corrupt and must not validate.
+    """
+    trace = StepTrace(makespan=3.0)
+    trace.op_records = [
+        OpRecord("k0", "MatMul", "gpu0", 0.0, 2.0, ready=0.0),
+        OpRecord("k1", "Relu", "gpu0", 1.0, 3.0, ready=0.0),
+    ]
+    return trace
+
+
+class TestSerialRowOverlap:
+    def test_overlapping_kernels_on_one_device_rejected(self):
+        document = trace_document(
+            step_trace_events(overlapping_kernels_trace())
+        )
+        with pytest.raises(TraceValidationError, match="overlap"):
+            validate_trace(document)
+
+    def test_overlapping_kernels_on_distinct_devices_pass(self):
+        trace = overlapping_kernels_trace()
+        trace.op_records = [
+            OpRecord("k0", "MatMul", "gpu0", 0.0, 2.0, ready=0.0),
+            OpRecord("k1", "Relu", "gpu1", 1.0, 3.0, ready=1.0),
+        ]
+        assert validate_trace(
+            trace_document(step_trace_events(trace))
+        )["spans"] == 2
+
+    def test_overlapping_transfers_on_one_channel_rejected(self):
+        trace = StepTrace(makespan=3.0)
+        trace.transfer_records = [
+            TransferRecord("t0", "gpu0", "gpu1", 8, 0.0, 2.0, channel="nv0"),
+            TransferRecord("t1", "gpu0", "gpu1", 8, 1.0, 3.0, channel="nv0"),
+        ]
+        with pytest.raises(TraceValidationError, match="overlap"):
+            validate_trace(trace_document(step_trace_events(trace)))
+
+    def test_wait_spans_may_overlap_kernels(self):
+        # A ready-queue wait legitimately overlaps *other* ops' kernels
+        # on the same device row; the golden trace contains exactly that
+        # shape on gpu1 and must stay valid.
+        document = trace_document(step_trace_events(golden_step_trace()))
+        assert validate_trace(document)["spans"] == 4
+
+    def test_back_to_back_kernels_pass(self):
+        trace = StepTrace(makespan=2.0)
+        trace.op_records = [
+            OpRecord("k0", "MatMul", "gpu0", 0.0, 1.0, ready=0.0),
+            OpRecord("k1", "Relu", "gpu0", 1.0, 2.0, ready=1.0),
+        ]
+        assert validate_trace(
+            trace_document(step_trace_events(trace))
+        )["spans"] == 2
+
+
 class TestTracerExport:
     def test_wall_clock_tracer_round_trips(self, tmp_path):
         tracer = Tracer(pid="fastt")

@@ -223,6 +223,34 @@ class TestTraceConsistency:
         last = max(r.end for r in trace.op_records)
         assert trace.makespan == pytest.approx(last)
 
+    def test_blocking_edges_recorded(self, topo2):
+        # v2 traces carry the event that made each op ready, so the
+        # analyzer's critical-path walk is exact.
+        g = diamond_graph()
+        d0, d1 = topo2.device_names
+        trace = _sim(g, topo2, FakePerf({}, byte_time=0.01)).run_step(
+            {"a": d0, "b": d0, "c": d1, "d": d0}
+        )
+        records = {r.op_name: r for r in trace.op_records}
+        assert records["a"].blocked_by is None  # source op
+        assert records["b"].blocked_by == "op:a"
+        assert records["c"].blocked_by == f"transfer:a:0|{d0}|{d1}"
+        assert records["d"].blocked_by == f"transfer:c:0|{d1}|{d0}"
+        for rec in trace.op_records:
+            assert rec.ready is not None
+            assert rec.ready <= rec.start + 1e-12
+
+    def test_transfer_queue_and_producer_recorded(self, topo2):
+        g = chain_graph(2, shape=(8, 8))
+        d0, d1 = topo2.device_names
+        trace = _sim(g, topo2, FakePerf({"op0": 1.0}, byte_time=0.01)).run_step(
+            {"op0": d0, "op1": d1}
+        )
+        (rec,) = trace.transfer_records
+        assert rec.producer == "op0"
+        assert rec.queued_at == pytest.approx(1.0)  # when op0 finished
+        assert rec.channel_wait == pytest.approx(0.0)
+
     @settings(max_examples=20, deadline=None)
     @given(data=st.data())
     def test_random_dag_schedule_is_consistent(self, data):
