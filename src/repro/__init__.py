@@ -45,7 +45,14 @@ The session-level API remains for step-by-step control::
 """
 
 from .api import ModelLike, OptimizeResult, optimize
-from .cluster import Topology, cluster_for, single_server, two_servers
+from .cluster import (
+    ClusterSpec,
+    Topology,
+    cluster_for,
+    single_server,
+    topology_from,
+    two_servers,
+)
 from .core import (
     DPOS,
     OSDPOS,
@@ -68,6 +75,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "CalculationReport",
+    "ClusterSpec",
     "CommunicationCostModel",
     "ComputationCostModel",
     "DPOS",
@@ -94,6 +102,7 @@ __all__ = [
     "model_names",
     "optimize",
     "single_server",
+    "topology_from",
     "two_servers",
     "__version__",
 ]

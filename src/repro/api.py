@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Union
 
-from .cluster import Topology
+from .cluster import Topology, TopologyLike, topology_from
 from .core.calculator import CalculationReport, FastTConfig
 from .core.session import FastTSession
 from .core.strategy import Strategy
@@ -129,7 +129,7 @@ class OptimizeResult:
 
 def optimize(
     model_or_name: ModelLike,
-    topology: Topology,
+    topology: TopologyLike,
     *,
     global_batch: Optional[int] = None,
     config: Optional[FastTConfig] = None,
@@ -142,7 +142,11 @@ def optimize(
     Args:
         model_or_name: A model-zoo name (``"lenet"``, ``"vgg19"``, …), a
             :class:`ModelSpec`, or a model-builder callable.
-        topology: The cluster to deploy onto (e.g. ``single_server(4)``).
+        topology: The cluster to deploy onto — a built
+            :class:`Topology` (e.g. ``single_server(4)``), a preset name
+            (``"pcie:4"``, ``"dgx:8"``, ``"servers:4x2"``), a
+            :class:`~repro.cluster.ClusterSpec`, or a dict/JSON cluster
+            spec (see :func:`repro.cluster.topology_from`).
         global_batch: Per-iteration batch size; defaults to the model
             spec's, and is required for bare builder callables.
         config: Workflow tunables (:class:`FastTConfig`); search knobs
@@ -156,6 +160,7 @@ def optimize(
         An :class:`OptimizeResult` with the surviving strategy, the
         measured iteration time / training speed, and the run's metrics.
     """
+    topology = topology_from(topology)
     if isinstance(model_or_name, str):
         spec = get_model(model_or_name)
         builder, name = spec.builder, spec.name

@@ -1,21 +1,49 @@
-"""Cluster model: devices, interconnect topology, and testbed presets."""
+"""Cluster model: devices, link-graph topology, and testbed presets."""
 
-from .device import GiB, V100, Device, DeviceSpec
-from .presets import cluster_for, make_devices, single_server, two_servers
-from .topology import ETHERNET, NVLINK, PCIE, LinkSpec, Topology
+from .device import DEVICE_SPECS, GiB, P100, V100, Device, DeviceSpec
+from .presets import (
+    TopologyLike,
+    cluster_for,
+    dgx,
+    four_servers,
+    make_devices,
+    mixed_server,
+    multi_server,
+    pcie_server,
+    single_server,
+    topology_from,
+    two_servers,
+)
+from .spec import WIRE, WIRE_BANDWIDTH, ClusterSpec, LinkDef, two_tier_spec
+from .topology import ETHERNET, NVLINK, PCIE, LinkSpec, Route, Topology
 
 __all__ = [
+    "ClusterSpec",
+    "DEVICE_SPECS",
     "Device",
     "DeviceSpec",
     "ETHERNET",
     "GiB",
+    "LinkDef",
     "LinkSpec",
     "NVLINK",
+    "P100",
     "PCIE",
+    "Route",
     "Topology",
+    "TopologyLike",
     "V100",
+    "WIRE",
+    "WIRE_BANDWIDTH",
     "cluster_for",
+    "dgx",
+    "four_servers",
     "make_devices",
+    "mixed_server",
+    "multi_server",
+    "pcie_server",
     "single_server",
+    "topology_from",
     "two_servers",
+    "two_tier_spec",
 ]

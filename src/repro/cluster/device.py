@@ -33,6 +33,23 @@ V100 = DeviceSpec(
     kernel_launch_overhead=6e-6,
 )
 
+#: Previous-generation card for heterogeneous-cluster scenarios:
+#: Tesla P100-SXM2-16GB (10.6 TFLOPS FP32, 732 GB/s HBM2).
+P100 = DeviceSpec(
+    model="Tesla P100-SXM2-16GB",
+    memory_bytes=16 * GiB,
+    peak_flops=10.6e12,
+    memory_bandwidth=732e9,
+    kernel_launch_overhead=6e-6,
+)
+
+#: Named specs resolvable from serialized cluster descriptions
+#: (``ClusterSpec.from_dict`` accepts these keys for ``"spec"``).
+DEVICE_SPECS = {
+    "V100": V100,
+    "P100": P100,
+}
+
 
 @dataclass(frozen=True)
 class Device:
@@ -43,12 +60,17 @@ class Device:
         index: Global index across the cluster (stable ordering).
         server: Which physical machine hosts this GPU.
         spec: Hardware capabilities.
+        compute_scale: Per-device throughput multiplier on top of
+            ``spec`` (1.0 = the spec's nominal speed).  Lets a cluster
+            mix identical card models running at different effective
+            speeds (thermal limits, MIG slices) without a new spec.
     """
 
     name: str
     index: int
     server: int
     spec: DeviceSpec = V100
+    compute_scale: float = 1.0
 
     @property
     def memory_bytes(self) -> int:

@@ -1,16 +1,37 @@
-"""Cluster presets matching the paper's testbed configurations.
+"""Cluster presets: the paper's testbeds plus link-graph scenarios.
 
 The evaluation uses one server with 8 V100s (NVLink) and a distributed
 setting with GPUs spread over two such servers connected by a datacenter
-network (Sec. 6.2 / 6.3).
+network (Sec. 6.2 / 6.3).  Those remain :func:`single_server` and
+:func:`two_servers`.  The link-graph cluster model adds the scenarios
+the two-tier world could not express:
+
+* :func:`pcie_server` — a commodity box where every transfer funnels
+  through one shared PCIe host bridge;
+* :func:`dgx` — a DGX-like NVLink ring with a PCIe fallback path, so
+  near neighbours get dedicated fast links while distant pairs route
+  through the host;
+* :func:`multi_server` — N servers behind a core switch (the >2-server
+  clusters the harness previously rejected);
+* :func:`mixed_server` — a heterogeneous V100+P100 box whose slow cards
+  hang off PCIe while the fast ones use NVLink.
+
+:func:`topology_from` turns preset names (``"pcie:4"``), dicts, JSON
+strings, or :class:`ClusterSpec` objects into a :class:`Topology` — the
+form ``repro.optimize`` accepts directly.
 """
 
 from __future__ import annotations
 
-from typing import List
+import json
+from typing import Any, List, Mapping, Union
 
-from .device import V100, Device, DeviceSpec
-from .topology import ETHERNET, NVLINK, Topology
+from .device import P100, V100, Device, DeviceSpec
+from .spec import WIRE, WIRE_BANDWIDTH, ClusterSpec, LinkDef, two_tier_spec
+from .topology import ETHERNET, NVLINK, PCIE, Topology
+
+#: What :func:`topology_from` (and ``repro.optimize``) accepts.
+TopologyLike = Union[Topology, ClusterSpec, Mapping, str]
 
 
 def make_devices(
@@ -37,7 +58,14 @@ def make_devices(
 
 def single_server(num_gpus: int, spec: DeviceSpec = V100) -> Topology:
     """``num_gpus`` V100s in one machine, NVLink all-to-all."""
-    return Topology(make_devices([num_gpus], spec), intra_server=NVLINK)
+    return Topology(
+        two_tier_spec(
+            make_devices([num_gpus], spec),
+            NVLINK,
+            ETHERNET,
+            name=f"single-server-{num_gpus}",
+        )
+    )
 
 
 def two_servers(gpus_per_server: int, spec: DeviceSpec = V100) -> Topology:
@@ -48,18 +76,300 @@ def two_servers(gpus_per_server: int, spec: DeviceSpec = V100) -> Topology:
     column.
     """
     return Topology(
-        make_devices([gpus_per_server, gpus_per_server], spec),
-        intra_server=NVLINK,
-        inter_server=ETHERNET,
+        two_tier_spec(
+            make_devices([gpus_per_server, gpus_per_server], spec),
+            NVLINK,
+            ETHERNET,
+            name=f"two-servers-{gpus_per_server}x2",
+        )
     )
 
 
-def cluster_for(num_gpus: int, num_servers: int = 1) -> Topology:
-    """Convenience dispatcher used by the experiment harness."""
+def _host_bridge_links(
+    devices: List[Device], server: int = 0
+) -> "tuple[List[LinkDef], List[str]]":
+    """PCIe lanes into/out of one shared host bridge.
+
+    Per-device lanes run at 48 GB/s and the bridge at 24 GB/s, so the
+    uncontended 3-hop store-and-forward rate is exactly the flat PCIe
+    preset's 12 GB/s (1/48 + 1/24 + 1/48 = 1/12) with the same 10 us
+    total latency — but every concurrent pair now shares the bridge
+    channel, which is where a real 4-GPU PCIe box congests.
+    """
+    host_in, host_out = f"host:{server}:in", f"host:{server}:out"
+    links: List[LinkDef] = []
+    for d in devices:
+        links.append(
+            LinkDef(
+                d.name, host_in, "pcie", 48e9, 3e-6,
+                channel=f"pcie:{d.name}->host",
+            )
+        )
+        links.append(
+            LinkDef(
+                host_out, d.name, "pcie", 48e9, 3e-6,
+                channel=f"pcie:host->{d.name}",
+            )
+        )
+    links.append(
+        LinkDef(
+            host_in, host_out, "pcie-bridge", 24e9, 4e-6,
+            channel=f"pcie-bridge:host:{server}",
+        )
+    )
+    return links, [host_in, host_out]
+
+
+def pcie_server(num_gpus: int, spec: DeviceSpec = V100) -> Topology:
+    """A commodity box: every GPU pair crosses one shared PCIe bridge."""
+    devices = make_devices([num_gpus], spec)
+    links, switches = _host_bridge_links(devices)
+    return Topology(
+        ClusterSpec(
+            devices=devices,
+            links=links,
+            switches=switches,
+            name=f"pcie-server-{num_gpus}",
+        )
+    )
+
+
+def dgx(num_gpus: int = 8, spec: DeviceSpec = V100) -> Topology:
+    """A DGX-like hybrid: an NVLink ring plus the PCIe host fallback.
+
+    Ring neighbours get dedicated per-pair NVLink channels; distant
+    pairs route hop-by-hop along the ring or through the shared PCIe
+    bridge, whichever the router prefers (fewest hops, then fewest
+    contended channels, then lowest latency).
+    """
+    devices = make_devices([num_gpus], spec)
+    links, switches = _host_bridge_links(devices)
+    nvlink_kind, nvlink_bw, nvlink_lat = NVLINK
+    if num_gpus > 1:
+        pairs = {
+            frozenset((i, (i + 1) % num_gpus)) for i in range(num_gpus)
+        }
+        for pair in sorted(tuple(sorted(p)) for p in pairs):
+            a, b = devices[pair[0]], devices[pair[1]]
+            for src, dst in ((a, b), (b, a)):
+                links.append(
+                    LinkDef(
+                        src.name,
+                        dst.name,
+                        nvlink_kind,
+                        nvlink_bw,
+                        nvlink_lat,
+                        channel=f"{nvlink_kind}:{src.name}->{dst.name}",
+                    )
+                )
+    return Topology(
+        ClusterSpec(
+            devices=devices,
+            links=links,
+            switches=switches,
+            name=f"dgx-{num_gpus}",
+        )
+    )
+
+
+def multi_server(
+    num_servers: int, gpus_per_server: int, spec: DeviceSpec = V100
+) -> Topology:
+    """``num_servers`` NVLink servers behind one core Ethernet switch.
+
+    Cross-server routes cross three contended channels: the source GPU's
+    NVLink egress, the source server's NIC uplink, and the destination
+    server's NIC downlink — so all traffic leaving a server shares its
+    uplink no matter which server it targets.
+    """
+    if num_servers < 1:
+        raise ValueError("multi_server needs at least one server")
+    devices = make_devices([gpus_per_server] * num_servers, spec)
+    nvlink_kind, nvlink_bw, nvlink_lat = NVLINK
+    eth_kind, eth_bw, eth_lat = ETHERNET
+    switches = [f"hub:{s}" for s in range(num_servers)]
+    links: List[LinkDef] = []
+    for d in devices:
+        hub = f"hub:{d.server}"
+        links.append(
+            LinkDef(
+                d.name, hub, nvlink_kind, nvlink_bw, nvlink_lat,
+                channel=f"{nvlink_kind}:{d.name}->*",
+            )
+        )
+        links.append(LinkDef(hub, d.name, WIRE, WIRE_BANDWIDTH, 0.0))
+    if num_servers > 1:
+        switches.append("core")
+        for s in range(num_servers):
+            links.append(
+                LinkDef(
+                    f"hub:{s}", "core", eth_kind, eth_bw, eth_lat / 2,
+                    channel=f"{eth_kind}:s{s}->core",
+                )
+            )
+            links.append(
+                LinkDef(
+                    "core", f"hub:{s}", eth_kind, eth_bw, eth_lat / 2,
+                    channel=f"{eth_kind}:core->s{s}",
+                )
+            )
+    return Topology(
+        ClusterSpec(
+            devices=devices,
+            links=links,
+            switches=switches,
+            name=f"servers-{num_servers}x{gpus_per_server}",
+        )
+    )
+
+
+def four_servers(gpus_per_server: int, spec: DeviceSpec = V100) -> Topology:
+    """Four NVLink servers behind a core switch."""
+    return multi_server(4, gpus_per_server, spec)
+
+
+def mixed_server(
+    num_fast: int,
+    num_slow: int,
+    fast_spec: DeviceSpec = V100,
+    slow_spec: DeviceSpec = P100,
+) -> Topology:
+    """A heterogeneous box: fast GPUs on NVLink, slow ones behind PCIe.
+
+    The slow cards pay PCIe bandwidth in *both* directions (a contended
+    ingress lane as well as egress), and their lower peak FLOPs flow
+    into the computation cost model through
+    :meth:`Topology.relative_compute_scales`.
+    """
+    if num_fast < 1 or num_slow < 1:
+        raise ValueError("mixed_server needs at least one GPU of each kind")
+    devices: List[Device] = []
+    for g in range(num_fast + num_slow):
+        devices.append(
+            Device(
+                name=f"/server:0/gpu:{g}",
+                index=g,
+                server=0,
+                spec=fast_spec if g < num_fast else slow_spec,
+            )
+        )
+    nvlink_kind, nvlink_bw, nvlink_lat = NVLINK
+    pcie_kind, pcie_bw, pcie_lat = PCIE
+    hub = "hub:0"
+    links: List[LinkDef] = []
+    for d in devices[:num_fast]:
+        links.append(
+            LinkDef(
+                d.name, hub, nvlink_kind, nvlink_bw, nvlink_lat,
+                channel=f"{nvlink_kind}:{d.name}->*",
+            )
+        )
+        links.append(LinkDef(hub, d.name, WIRE, WIRE_BANDWIDTH, 0.0))
+    for d in devices[num_fast:]:
+        links.append(
+            LinkDef(
+                d.name, hub, pcie_kind, pcie_bw, pcie_lat,
+                channel=f"{pcie_kind}:{d.name}->*",
+            )
+        )
+        links.append(
+            LinkDef(
+                hub, d.name, pcie_kind, pcie_bw, 0.0,
+                channel=f"{pcie_kind}:*->{d.name}",
+            )
+        )
+    return Topology(
+        ClusterSpec(
+            devices=devices,
+            links=links,
+            switches=[hub],
+            name=f"mixed-{num_fast}+{num_slow}",
+        )
+    )
+
+
+def cluster_for(
+    num_gpus: int, num_servers: int = 1, interconnect: str = "default"
+) -> Topology:
+    """Convenience dispatcher used by the experiment harness.
+
+    ``interconnect`` selects the link structure: ``"default"`` is the
+    paper's two-tier NVLink/Ethernet world, ``"pcie"``, ``"dgx"``, and
+    ``"mixed"`` pick the single-server link-graph presets.
+    """
+    if interconnect != "default":
+        if num_servers != 1:
+            raise ValueError(
+                f"interconnect {interconnect!r} presets are single-server"
+            )
+        if interconnect == "pcie":
+            return pcie_server(num_gpus)
+        if interconnect == "dgx":
+            return dgx(num_gpus)
+        if interconnect == "mixed":
+            return mixed_server(num_gpus - num_gpus // 2, num_gpus // 2)
+        raise ValueError(f"unknown interconnect {interconnect!r}")
     if num_servers == 1:
         return single_server(num_gpus)
+    if num_gpus % num_servers:
+        raise ValueError(
+            f"cannot split {num_gpus} GPUs over {num_servers} servers"
+        )
     if num_servers == 2:
-        if num_gpus % 2:
-            raise ValueError(f"cannot split {num_gpus} GPUs over two servers")
         return two_servers(num_gpus // 2)
-    raise ValueError(f"unsupported server count {num_servers}")
+    return multi_server(num_servers, num_gpus // num_servers)
+
+
+def _named_topology(name: str) -> Topology:
+    """Resolve a preset string like ``"pcie:4"`` or ``"servers:4x2"``."""
+    kind, _, arg = name.partition(":")
+    kind = kind.strip().lower()
+    arg = arg.strip()
+    try:
+        if kind in ("single", "single_server", "nvlink"):
+            return single_server(int(arg or 8))
+        if kind in ("two_servers", "two-servers"):
+            return two_servers(int(arg or 4))
+        if kind == "pcie":
+            return pcie_server(int(arg or 4))
+        if kind == "dgx":
+            return dgx(int(arg or 8))
+        if kind == "servers":
+            servers, _, per = arg.partition("x")
+            return multi_server(int(servers), int(per or 1))
+        if kind == "mixed":
+            fast, _, slow = arg.partition("+")
+            return mixed_server(int(fast or 2), int(slow or fast or 2))
+    except ValueError as exc:
+        raise ValueError(f"malformed topology preset {name!r}: {exc}") from None
+    raise ValueError(
+        f"unknown topology preset {name!r}; expected one of "
+        "'single:N', 'two_servers:N', 'pcie:N', 'dgx:N', 'servers:SxG', "
+        "'mixed:F+S', or a JSON cluster spec"
+    )
+
+
+def topology_from(spec: TopologyLike) -> Topology:
+    """Coerce any supported cluster description into a :class:`Topology`.
+
+    Accepts a built :class:`Topology`, a :class:`ClusterSpec`, a dict in
+    the ``ClusterSpec.from_dict`` format, a JSON string of that dict, or
+    a preset name (``"single:4"``, ``"pcie:4"``, ``"dgx:8"``,
+    ``"servers:4x2"``, ``"mixed:2+2"``).
+    """
+    if isinstance(spec, Topology):
+        return spec
+    if isinstance(spec, ClusterSpec):
+        return Topology(spec)
+    if isinstance(spec, Mapping):
+        return Topology(ClusterSpec.from_dict(spec))
+    if isinstance(spec, str):
+        text = spec.strip()
+        if text.startswith("{"):
+            data: Any = json.loads(text)
+            return Topology(ClusterSpec.from_dict(data))
+        return _named_topology(text)
+    raise TypeError(
+        "topology must be a Topology, ClusterSpec, dict, JSON string, or "
+        f"preset name, not {type(spec).__name__}"
+    )

@@ -170,21 +170,6 @@ class CalculationReport:
         )
 
 
-class _ServerPairClass:
-    """Classify device pairs as intra- or inter-server transfers.
-
-    A class (rather than a closure) so the communication cost model stays
-    picklable, which the ``search_workers`` process pool requires.
-    """
-
-    def __init__(self, topology: Topology) -> None:
-        self.topology = topology
-
-    def __call__(self, src: str, dst: str) -> str:
-        a, b = self.topology.device(src), self.topology.device(dst)
-        return "intra" if a.server == b.server else "inter"
-
-
 class StrategyCalculator:
     """Drives the pre-training loop for one training job."""
 
@@ -214,9 +199,18 @@ class StrategyCalculator:
         self.alternative_inputs = list(alternative_inputs or [])
         self._alternatives_profiled = False
 
-        self.computation = ComputationCostModel()
+        # Pair classes come from the topology's routed link kinds (the
+        # generalization of the old intra/inter split), the computation
+        # model learns heterogeneous device speeds through the relative
+        # compute scales, and the communication model prices unprofiled
+        # pairs from the topology's route times instead of zero.  Bound
+        # methods pickle with their instance, which the search_workers
+        # process pool requires.
+        self.computation = ComputationCostModel(
+            device_scale=topology.relative_compute_scales()
+        )
         self.communication = CommunicationCostModel(
-            pair_class=_ServerPairClass(topology)
+            pair_class=topology.pair_class, topology=topology
         )
         self._stability = StabilityMonitor(self.config.stability_tolerance)
 

@@ -10,9 +10,12 @@ available bandwidth and congestion along each device-device path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster import Topology
 
 Pair = Tuple[str, str]
 #: Maps a device pair to an equivalence class sharing link behaviour
@@ -54,20 +57,29 @@ class CommunicationCostModel:
             cross-server paths share the NIC), mirroring how quickly the
             paper's always-on profiler covers symmetric links.
         max_samples_per_pair: Sliding-window size per pair.
+        topology: Optional cluster topology.  When attached, a pair with
+            no profiled samples (and no class model) is estimated from
+            the topology's uncontended route time — an optimistic prior
+            that keeps the planner from treating never-profiled remote
+            links as free.
     """
 
     def __init__(
         self,
         pair_class: Optional[PairClassFn] = None,
         max_samples_per_pair: int = 512,
+        topology: Optional["Topology"] = None,
     ) -> None:
         self._pair_class = pair_class
+        self._topology = topology
         self._samples: Dict[Pair, List[Tuple[float, float]]] = {}
         self._class_samples: Dict[str, List[Tuple[float, float]]] = {}
         self._models: Dict[Pair, _LinearModel] = {}
         self._class_models: Dict[str, _LinearModel] = {}
         self._dirty: Dict[Pair, bool] = {}
         self._class_dirty: Dict[str, bool] = {}
+        self._global: Optional[_LinearModel] = None
+        self._global_dirty = False
         self._max_samples = max_samples_per_pair
 
     # ------------------------------------------------------------------
@@ -82,6 +94,7 @@ class CommunicationCostModel:
         if len(samples) > self._max_samples:
             del samples[: len(samples) - self._max_samples]
         self._dirty[pair] = True
+        self._global_dirty = True
         if self._pair_class is not None:
             key = self._pair_class(src, dst)
             class_samples = self._class_samples.setdefault(key, [])
@@ -107,7 +120,15 @@ class CommunicationCostModel:
         return (src, dst) in self._samples
 
     def time(self, src: str, dst: str, num_bytes: int) -> float:
-        """Expected transfer time; 0 for local or fully unexplored paths."""
+        """Expected transfer time of ``num_bytes`` from ``src`` to ``dst``.
+
+        Falls through pair regression -> class regression -> topology
+        prior -> global pooled rate.  Without an attached topology a
+        fully unexplored model answers 0 (the paper's "prefer to
+        explore" rule); with one, unprofiled pairs cost at least their
+        uncontended route time, so the planner never sees a remote
+        link as free.
+        """
         if src == dst or num_bytes <= 0:
             return 0.0
         model = self._fit((src, dst))
@@ -117,19 +138,38 @@ class CommunicationCostModel:
             class_model = self._fit_class(self._pair_class(src, dst))
             if class_model is not None:
                 return class_model.predict(num_bytes)
+        if self._topology is not None:
+            # Optimistic prior: the route's uncontended store-and-forward
+            # time.  Preferred over the global pooled rate, which is
+            # class-blind and underestimates slow links badly.
+            optimistic = self._topology.transfer_time(src, dst, num_bytes)
+            if optimistic > 0.0:
+                return optimistic
         fallback = self._global_model()
         if fallback is not None:
             return fallback.predict(num_bytes)
         return 0.0  # explore: nothing has ever been profiled
 
     def _global_model(self) -> Optional[_LinearModel]:
-        all_samples = [s for samples in self._samples.values() for s in samples]
-        if not all_samples:
-            return None
-        xs = np.array([s[0] for s in all_samples])
-        ys = np.array([s[1] for s in all_samples])
-        rate = float(ys.sum() / xs.sum()) if float(xs.sum()) > 0 else 0.0
-        return _LinearModel(rate, 0.0)
+        """Pooled rate over every sample, cached behind a dirty flag.
+
+        Refitting on every unknown-pair query was O(total samples) in
+        the search hot path; now the fit reruns only after new
+        observations arrive.
+        """
+        if self._global_dirty:
+            all_samples = [
+                s for samples in self._samples.values() for s in samples
+            ]
+            if not all_samples:
+                self._global = None
+            else:
+                xs = np.array([s[0] for s in all_samples])
+                ys = np.array([s[1] for s in all_samples])
+                rate = float(ys.sum() / xs.sum()) if float(xs.sum()) > 0 else 0.0
+                self._global = _LinearModel(rate, 0.0)
+            self._global_dirty = False
+        return self._global
 
     def max_time(self, num_bytes: int, pairs: Iterable[Pair]) -> float:
         """``c_ij`` of the rank computation: worst case over device pairs."""

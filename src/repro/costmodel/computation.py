@@ -81,14 +81,29 @@ class ComputationCostModel:
             the fast path to a complete model the paper relies on
             ("each operation is replicated to different GPUs and their
             execution time on different devices is learned").
+        device_scale: Optional per-device relative speed (1.0 = fastest;
+            see :meth:`Topology.relative_compute_scales`).  The
+            cross-device fallback normalizes each observation by its
+            device's scale and rescales on lookup, so a time profiled on
+            a fast GPU predicts a proportionally longer time on a slow
+            one.  With all scales at 1.0 (the homogeneous testbed) this
+            is exactly the unscaled mean.
     """
 
-    def __init__(self, homogeneous_fallback: bool = True) -> None:
+    def __init__(
+        self,
+        homogeneous_fallback: bool = True,
+        device_scale: Optional[Dict[str, float]] = None,
+    ) -> None:
         self.homogeneous_fallback = homogeneous_fallback
+        self.device_scale = dict(device_scale or {})
         self._stats: Dict[Tuple[str, str], _RunningStat] = {}
         self._by_name: Dict[str, _RunningStat] = {}
         self._types: Dict[str, str] = {}
         self._bandwidth: Dict[str, _BandwidthProxy] = {}
+
+    def _scale_of(self, device: str) -> float:
+        return self.device_scale.get(device, 1.0)
 
     # ------------------------------------------------------------------
     def observe(
@@ -102,7 +117,11 @@ class ComputationCostModel:
         """Record one profiled execution."""
         key = (op_name, device)
         self._stats.setdefault(key, _RunningStat()).add(duration)
-        self._by_name.setdefault(op_name, _RunningStat()).add(duration)
+        # The per-name pool stores scale-normalized ("fastest device
+        # equivalent") durations so heterogeneous observations mix.
+        self._by_name.setdefault(op_name, _RunningStat()).add(
+            duration * self._scale_of(device)
+        )
         self._types[op_name] = op_type
         if op_type in BANDWIDTH_BOUND_TYPES and bytes_accessed > 0:
             self._bandwidth.setdefault(device, _BandwidthProxy()).add(
@@ -141,7 +160,7 @@ class ComputationCostModel:
         if self.homogeneous_fallback:
             stat = self._by_name.get(op_name)
             if stat is not None:
-                return stat.mean
+                return stat.mean / self._scale_of(device)
         return None
 
     def _derived_from_parent(self, op: Operation, device: str) -> Optional[float]:

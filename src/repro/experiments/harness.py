@@ -46,6 +46,17 @@ from ..sim import ExecutionSimulator, SimulationOOMError
 STRONG_SCALING_CONFIGS = [(1, 1), (2, 1), (4, 1), (8, 1), (8, 2)]
 #: Default cluster columns of Table 2 (weak scaling).
 WEAK_SCALING_CONFIGS = [(1, 1), (2, 1), (4, 1), (8, 1), (16, 2)]
+#: Link-graph topology grid: (num_gpus, num_servers, interconnect).
+#: Exercises routed multi-channel contention (PCIe bridge, NIC uplinks)
+#: and heterogeneous devices alongside the paper's two-tier columns.
+TOPOLOGY_CONFIGS = [
+    (4, 1, "default"),
+    (4, 1, "pcie"),
+    (4, 1, "dgx"),
+    (4, 1, "mixed"),
+    (4, 2, "default"),
+    (8, 4, "default"),
+]
 
 _MEASURE_STEPS = 3
 
@@ -87,10 +98,13 @@ def _trial_obs() -> Optional[Observability]:
 
 
 def _trial_stem(result: "TrialResult") -> str:
-    return (
+    stem = (
         f"{result.model}_{result.method}_"
         f"{result.num_gpus}x{result.num_servers}"
     )
+    if result.cluster != "default":
+        stem += f"_{result.cluster}"
+    return stem
 
 
 def _export_summary(result: "TrialResult") -> None:
@@ -110,6 +124,7 @@ def _export_summary(result: "TrialResult") -> None:
         method=result.method,
         num_gpus=result.num_gpus,
         num_servers=result.num_servers,
+        cluster=result.cluster,
         global_batch=result.global_batch,
         oom=result.oom,
         iteration_time=(
@@ -161,6 +176,9 @@ class TrialResult:
     num_gpus: int
     num_servers: int
     global_batch: int
+    #: Interconnect preset (see :func:`repro.cluster.cluster_for`);
+    #: ``"default"`` is the paper's two-tier NVLink/Ethernet world.
+    cluster: str = "default"
     oom: bool = False
     iteration_time: float = float("nan")
     speed: float = float("nan")
@@ -286,15 +304,17 @@ def run_data_parallel_trial(
     num_servers: int,
     global_batch: int,
     seed: int = 7,
+    cluster: str = "default",
 ) -> TrialResult:
     """Baseline DP (FIFO order, one replica per GPU)."""
-    topology = cluster_for(num_gpus, num_servers)
+    topology = cluster_for(num_gpus, num_servers, cluster)
     result = TrialResult(
         model=model.name,
         method="dp",
         num_gpus=num_gpus,
         num_servers=num_servers,
         global_batch=global_batch,
+        cluster=cluster,
         devices_used=num_gpus,
     )
     try:
@@ -327,15 +347,17 @@ def run_fastt_trial(
     global_batch: int,
     seed: int = 7,
     config: Optional[FastTConfig] = None,
+    cluster: str = "default",
 ) -> TrialResult:
     """Full FastT workflow: bootstrap, OS-DPOS, activation, rollback."""
-    topology = cluster_for(num_gpus, num_servers)
+    topology = cluster_for(num_gpus, num_servers, cluster)
     result = TrialResult(
         model=model.name,
         method="fastt",
         num_gpus=num_gpus,
         num_servers=num_servers,
         global_batch=global_batch,
+        cluster=cluster,
     )
     obs = _trial_obs()
     try:
@@ -379,15 +401,17 @@ def run_model_parallel_trial(
     num_servers: int,
     global_batch: int,
     seed: int = 7,
+    cluster: str = "default",
 ) -> TrialResult:
     """Greedy contiguous model parallelism (comparison/ablation)."""
-    topology = cluster_for(num_gpus, num_servers)
+    topology = cluster_for(num_gpus, num_servers, cluster)
     result = TrialResult(
         model=model.name,
         method="mp",
         num_gpus=num_gpus,
         num_servers=num_servers,
         global_batch=global_batch,
+        cluster=cluster,
         devices_used=num_gpus,
     )
     try:
@@ -411,12 +435,14 @@ def run_fastt_nosplit_trial(
     num_servers: int,
     global_batch: int,
     seed: int = 7,
+    cluster: str = "default",
 ) -> TrialResult:
     """FastT with operation splitting disabled (Table 6 ablation)."""
     config = bench_config()
     config.search.enable_splitting = False
     result = run_fastt_trial(
-        model, num_gpus, num_servers, global_batch, seed=seed, config=config
+        model, num_gpus, num_servers, global_batch, seed=seed, config=config,
+        cluster=cluster,
     )
     result.method = "fastt_nosplit"
     return result
@@ -438,8 +464,14 @@ def trial(
     global_batch: Optional[int] = None,
     preset: str = "bench",
     seed: int = 7,
+    cluster: str = "default",
 ) -> TrialResult:
-    """Cached entry point used by the benchmark files."""
+    """Cached entry point used by the benchmark files.
+
+    ``cluster`` selects the interconnect preset (``"default"``,
+    ``"pcie"``, ``"dgx"``, ``"mixed"`` — see
+    :func:`repro.cluster.cluster_for`).
+    """
     model = get_model(model_name, preset)
     batch = global_batch if global_batch is not None else model.global_batch
     key = {
@@ -450,13 +482,18 @@ def trial(
         "batch": batch,
         "preset": preset,
         "seed": seed,
-        # v5: canonical topological tie-breaking + all-ops finish time in
-        # DPOS changed some strategies; stale v4 entries must not mix in.
-        "version": 5,
+        "cluster": cluster,
+        # v6: the communication model's topology prior prices unprofiled
+        # pairs from route times (was 0/global-rate), which can steer the
+        # search; stale v5 entries must not mix in.
+        "version": 6,
     }
     runner = _RUNNERS[method]
     result = cached_trial(
-        key, lambda: runner(model, num_gpus, num_servers, batch, seed=seed)
+        key,
+        lambda: runner(
+            model, num_gpus, num_servers, batch, seed=seed, cluster=cluster
+        ),
     )
     _export_summary(result)
     return result

@@ -22,7 +22,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..cluster import Device, Topology
+from ..cluster import Device, LinkSpec, Topology
 from ..graph import Operation
 
 #: Fraction of peak FP32 throughput each op class achieves.  The conv
@@ -77,7 +77,12 @@ class PerfModel:
 
     # ------------------------------------------------------------------
     def base_op_time(self, op: Operation, device: Device) -> float:
-        """Noise-free execution time of ``op`` on ``device``."""
+        """Noise-free execution time of ``op`` on ``device``.
+
+        ``device.compute_scale`` throttles both the FLOP and memory
+        roofline terms, so heterogeneous clusters (mixed specs or
+        down-clocked cards) slow down proportionally.
+        """
         spec = device.spec
         eff = self.efficiency.get(op.op_type, _DEFAULT_EFF)
         if op.flops:
@@ -89,10 +94,14 @@ class PerfModel:
             width = max(out_elems, in_elems, 1)
             utilization = min(1.0, width / self.saturation_elements)
             utilization = max(utilization, 1e-3)
-            compute = op.flops / (eff * spec.peak_flops * utilization)
+            compute = op.flops / (
+                eff * spec.peak_flops * device.compute_scale * utilization
+            )
         else:
             compute = 0.0
-        traffic = op.bytes_accessed / spec.memory_bandwidth
+        traffic = op.bytes_accessed / (
+            spec.memory_bandwidth * device.compute_scale
+        )
         if op.flops == 0.0 and op.op_type in ("Placeholder", "Variable", "Const", "NoOp"):
             # Feeds/parameter reads are resident; charge only the launch.
             traffic = 0.0
@@ -109,6 +118,17 @@ class PerfModel:
     def transfer_time(self, src: str, dst: str, num_bytes: int) -> float:
         """One observed transfer duration with jitter."""
         base = self.base_transfer_time(src, dst, num_bytes)
+        return self._jitter(base) if base else 0.0
+
+    def base_link_time(self, link: LinkSpec, num_bytes: int) -> float:
+        """Noise-free duration of one hop of a routed transfer."""
+        if num_bytes <= 0:
+            return 0.0
+        return link.hop_time(num_bytes)
+
+    def link_time(self, link: LinkSpec, num_bytes: int) -> float:
+        """One observed hop duration with jitter (multi-channel routes)."""
+        base = self.base_link_time(link, num_bytes)
         return self._jitter(base) if base else 0.0
 
     # ------------------------------------------------------------------

@@ -139,9 +139,17 @@ class _PathWalker:
     def __init__(self, trace: StepTrace) -> None:
         self.trace = trace
         self.ops: Dict[str, OpRecord] = {r.op_name: r for r in trace.op_records}
+        # Routed transfers emit one record per hop, all keyed by the
+        # endpoint devices: ``transfers`` resolves blocking edges to the
+        # *final* hop (the one whose arrival unblocked the consumer),
+        # ``hop_chains`` keeps every hop in end order for the backwards
+        # walk across intermediate channels.
         self.transfers: Dict[Tuple[str, str, str], TransferRecord] = {}
-        for rec in trace.transfer_records:
-            self.transfers[(rec.tensor_name, rec.src_device, rec.dst_device)] = rec
+        self.hop_chains: Dict[Tuple[str, str, str], List[TransferRecord]] = {}
+        for rec in sorted(trace.transfer_records, key=lambda r: (r.end, r.start)):
+            key = (rec.tensor_name, rec.src_device, rec.dst_device)
+            self.transfers[key] = rec
+            self.hop_chains.setdefault(key, []).append(rec)
         # Fallback-inference indexes (sorted by end time).
         self.ops_by_device: Dict[str, List[OpRecord]] = {}
         for rec in sorted(trace.op_records, key=lambda r: r.end):
@@ -170,10 +178,26 @@ class _PathWalker:
         self.exact = False
         return best
 
-    def _transfer_predecessor(self, rec: TransferRecord) -> Optional[OpRecord]:
+    def _transfer_predecessor(self, rec: TransferRecord) -> Optional[object]:
+        anchor = rec.queued_at if rec.queued_at is not None else rec.start
+        # An earlier hop of the same routed transfer: it ends exactly
+        # when this hop was queued on the next channel.  Recorded
+        # structure, so following it keeps the walk exact.
+        chain = self.hop_chains.get(
+            (rec.tensor_name, rec.src_device, rec.dst_device), ()
+        )
+        previous_hop: Optional[TransferRecord] = None
+        for cand in chain:  # sorted by end
+            if cand is rec:
+                continue
+            if cand.end <= anchor + _EPS:
+                previous_hop = cand
+            else:
+                break
+        if previous_hop is not None:
+            return previous_hop
         if rec.producer and rec.producer in self.ops:
             return self.ops[rec.producer]
-        anchor = rec.queued_at if rec.queued_at is not None else rec.start
         best: Optional[OpRecord] = None
         for cand in self.ops_by_device.get(rec.src_device, ()):
             if cand.end <= anchor + _EPS:
@@ -445,10 +469,19 @@ def analyze_utilization(
     touching: Dict[str, List[Tuple[float, float]]] = {d: [] for d in devices}
     bytes_in: Dict[str, int] = {d: 0 for d in devices}
     bytes_out: Dict[str, int] = {d: 0 for d in devices}
+    # Routed transfers record one span per hop with the same endpoint
+    # devices and byte count; the hop spans union into the transfer's
+    # in-flight window, but the bytes must count once per logical
+    # transfer, not once per channel crossed.
+    counted: set = set()
     for rec in trace.transfer_records:
         inbound[rec.dst_device].append((rec.start, rec.end))
         touching[rec.dst_device].append((rec.start, rec.end))
         touching[rec.src_device].append((rec.start, rec.end))
+        key = (rec.tensor_name, rec.src_device, rec.dst_device)
+        if key in counted:
+            continue
+        counted.add(key)
         bytes_in[rec.dst_device] += rec.num_bytes
         bytes_out[rec.src_device] += rec.num_bytes
 

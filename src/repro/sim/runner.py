@@ -22,7 +22,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..cluster import Topology
+from ..cluster import LinkSpec, Topology
 from ..graph import Graph, Operation
 from ..hardware import PerfModel
 from ..obs import Observability, get_obs
@@ -47,6 +47,10 @@ class _Transfer:
     consumers: int
     queued_at: float = 0.0
     producer: str = ""
+    #: The contended channels the route crosses, in order; the transfer
+    #: queues on each in sequence (store-and-forward).
+    hops: Tuple[LinkSpec, ...] = ()
+    hop: int = 0
 
 
 class ExecutionSimulator:
@@ -283,7 +287,18 @@ class _StepState:
 
     # ------------------------------------------------------------------
     def _enqueue_transfer(self, transfer: _Transfer, time: float) -> None:
-        channel = self.sim.topology.link(transfer.src, transfer.dst).shared_channel
+        route = self.sim.topology.route(transfer.src, transfer.dst)
+        # All-wire routes (no contended channel) still produce one hop —
+        # the effective link — so the transfer is traced and pays its
+        # route latency; infinite bandwidth makes the queueing harmless.
+        transfer.hops = route.channels or (
+            self.sim.topology.link(transfer.src, transfer.dst),
+        )
+        transfer.hop = 0
+        self._enqueue_hop(transfer, time)
+
+    def _enqueue_hop(self, transfer: _Transfer, time: float) -> None:
+        channel = transfer.hops[transfer.hop].shared_channel
         if self.channel_busy.get(channel):
             self.channel_queue.setdefault(channel, deque()).append(transfer)
         else:
@@ -291,18 +306,27 @@ class _StepState:
 
     def _start_transfer(self, channel: str, transfer: _Transfer, time: float) -> None:
         self.channel_busy[channel] = True
-        # The destination copy is allocated when the transfer begins, as
-        # receive buffers are pinned up front.
-        self.memory.allocate(
-            transfer.tensor_name,
-            transfer.dst,
-            transfer.num_bytes,
-            consumers=transfer.consumers,
-        )
-        duration = self.sim.perf.transfer_time(
-            transfer.src, transfer.dst, transfer.num_bytes
-        )
+        if transfer.hop == 0:
+            # The destination copy is allocated when the transfer begins,
+            # as receive buffers are pinned up front.
+            self.memory.allocate(
+                transfer.tensor_name,
+                transfer.dst,
+                transfer.num_bytes,
+                consumers=transfer.consumers,
+            )
+        if len(transfer.hops) == 1:
+            duration = self.sim.perf.transfer_time(
+                transfer.src, transfer.dst, transfer.num_bytes
+            )
+        else:
+            duration = self.sim.perf.link_time(
+                transfer.hops[transfer.hop], transfer.num_bytes
+            )
         end = time + duration
+        # One record per hop; all hops carry the endpoint devices, so
+        # per-device accounting sees one logical transfer while each
+        # channel row shows its own span.
         self.trace.transfer_records.append(
             TransferRecord(
                 transfer.tensor_name,
@@ -322,19 +346,25 @@ class _StepState:
 
     def _on_transfer_finish(self, payload: Tuple[str, _Transfer], time: float) -> None:
         channel, transfer = payload
-        # The source copy drops the reference held for this transfer.
-        self.memory.release(transfer.tensor_name, transfer.src)
-        self._mark_available(
-            transfer.tensor_name,
-            transfer.dst,
-            time,
-            cause=(
-                f"transfer:{transfer.tensor_name}|"
-                f"{transfer.src}|{transfer.dst}"
-            ),
-        )
+        last_hop = transfer.hop + 1 >= len(transfer.hops)
+        if last_hop:
+            # The source copy drops the reference held for this transfer.
+            self.memory.release(transfer.tensor_name, transfer.src)
+            self._mark_available(
+                transfer.tensor_name,
+                transfer.dst,
+                time,
+                cause=(
+                    f"transfer:{transfer.tensor_name}|"
+                    f"{transfer.src}|{transfer.dst}"
+                ),
+            )
         queue = self.channel_queue.get(channel)
         if queue:
             self._start_transfer(channel, queue.popleft(), time)
         else:
             self.channel_busy[channel] = False
+        if not last_hop:
+            transfer.hop += 1
+            transfer.queued_at = time
+            self._enqueue_hop(transfer, time)

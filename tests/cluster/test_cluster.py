@@ -103,6 +103,13 @@ class TestPresets:
         with pytest.raises(ValueError):
             cluster_for(7, 2)
 
-    def test_cluster_for_three_servers_rejected(self):
+    def test_cluster_for_three_servers(self):
+        # >2-server clusters used to be rejected; the link-graph model
+        # routes them through a core switch.
+        topo = cluster_for(12, 3)
+        assert topo.num_servers == 3
+        assert len(topo.devices) == 12
+
+    def test_cluster_for_uneven_split_rejected(self):
         with pytest.raises(ValueError):
-            cluster_for(12, 3)
+            cluster_for(10, 3)

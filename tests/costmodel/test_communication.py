@@ -106,3 +106,117 @@ class TestSlidingWindow:
         for i in range(100):
             model.observe("a", "b", 1000 + i, 1e-6)
         assert len(model._samples[("a", "b")]) == 10
+
+
+class TestTopologyPrior:
+    """Unexplored pairs fall back to the topology's optimistic estimate.
+
+    Before the link-graph model the fallback chain ended at 0.0, so the
+    planner saw unprofiled remote devices as free to reach and happily
+    placed ops across un-measured Ethernet links.  With a topology
+    attached, the uncontended route estimate fills the gap.
+    """
+
+    def _model(self, topo):
+        return CommunicationCostModel(
+            pair_class=topo.pair_class, topology=topo
+        )
+
+    def test_unprofiled_pair_uses_route_estimate(self):
+        from repro.cluster import two_servers
+
+        topo = two_servers(2)
+        model = self._model(topo)
+        src, dst = topo.device_names[0], topo.device_names[2]
+        assert model.time(src, dst, 10**6) == pytest.approx(
+            topo.transfer_time(src, dst, 10**6)
+        )
+
+    def test_unprofiled_remote_no_longer_looks_free(self):
+        from repro.cluster import two_servers
+
+        topo = two_servers(2)
+        model = self._model(topo)
+        bare = CommunicationCostModel()
+        local, near, far = (
+            topo.device_names[0], topo.device_names[1], topo.device_names[2]
+        )
+        # With no samples at all the old chain bottomed out at 0.0: the
+        # planner priced unprofiled remote devices as free to reach.
+        assert bare.time(local, far, 10**6) == 0.0
+        assert model.time(local, far, 10**6) == pytest.approx(
+            topo.transfer_time(local, far, 10**6)
+        )
+        # And once the intra pair is profiled at NVLink speed, the dark
+        # Ethernet pair still prices off its slower route, not 0.0 or
+        # the pooled NVLink rate.
+        nvlink_slope = 1.0 / topo.link(local, near).bandwidth
+        _feed_linear(model, local, near, nvlink_slope, 5e-6, [10**5, 10**6])
+        assert model.time(local, far, 10**6) == pytest.approx(
+            topo.transfer_time(local, far, 10**6)
+        )
+        assert model.time(local, far, 10**6) > model.time(
+            local, near, 10**6
+        )
+
+    def test_profiled_samples_beat_the_prior(self):
+        from repro.cluster import two_servers
+
+        topo = two_servers(2)
+        model = self._model(topo)
+        src, dst = topo.device_names[0], topo.device_names[2]
+        # Measured reality is 4x slower than the optimistic route.
+        slope = 4.0 / topo.link(src, dst).bandwidth
+        _feed_linear(model, src, dst, slope, 0.0, [10**5, 10**6])
+        assert model.time(src, dst, 10**6) == pytest.approx(
+            slope * 10**6, rel=1e-3
+        )
+
+    def test_class_samples_beat_the_prior(self):
+        from repro.cluster import two_servers
+
+        topo = two_servers(2)
+        model = self._model(topo)
+        a0, a1 = topo.device_names[0], topo.device_names[1]
+        b0 = topo.device_names[2]
+        _feed_linear(model, a0, a1, 7e-9, 0.0, [10**5, 10**6])
+        # b0->a0 is unprofiled but shares the nvlink class (intra-server
+        # both ways): the pooled class regression wins over the prior.
+        assert model.time(a1, a0, 10**6) == pytest.approx(7e-3, rel=1e-3)
+        # The cross-server class has no samples: prior applies.
+        assert model.time(a0, b0, 10**6) == pytest.approx(
+            topo.transfer_time(a0, b0, 10**6)
+        )
+
+    def test_local_still_free_with_topology(self):
+        from repro.cluster import single_server
+
+        topo = single_server(2)
+        model = self._model(topo)
+        dev = topo.device_names[0]
+        assert model.time(dev, dev, 10**9) == 0.0
+
+
+class TestGlobalModelCache:
+    """The pooled global fallback refits only when new samples arrive."""
+
+    def test_cached_between_queries(self):
+        model = CommunicationCostModel()
+        _feed_linear(model, "a", "b", 1e-9, 0.0, [1000, 2000])
+        first = model._global_model()
+        assert model._global_model() is first  # no refit without data
+
+    def test_observe_invalidates(self):
+        model = CommunicationCostModel()
+        _feed_linear(model, "a", "b", 1e-9, 0.0, [1000, 2000])
+        before = model.time("x", "y", 10**6)
+        _feed_linear(model, "c", "d", 9e-9, 0.0, [1000, 2000] * 10)
+        after = model.time("x", "y", 10**6)
+        assert after > before  # new slow samples changed the pooled fit
+
+    def test_empty_model_is_cached_too(self):
+        model = CommunicationCostModel()
+        assert model._global_model() is None
+        assert model.time("a", "b", 1000) == 0.0
+        model.observe("a", "b", 1000, 1e-6)
+        assert model._global_model() is not None

@@ -105,3 +105,36 @@ class TestSnapshot:
         model.observe("a", "Relu", "gpu0", 0.2)
         model.observe("a", "Relu", "gpu0", 0.4)
         assert model.snapshot()[("a", "gpu0")] == pytest.approx(0.3)
+
+
+class TestHeterogeneousFallback:
+    """Per-device compute scales normalize the cross-device fallback."""
+
+    def test_fallback_scaled_to_slower_device(self, conv_op):
+        # fast runs at full speed, slow at half: a kernel profiled on
+        # fast is expected to take twice as long on slow.
+        model = ComputationCostModel(
+            device_scale={"fast": 1.0, "slow": 0.5}
+        )
+        model.observe("conv", "Conv2D", "fast", 0.010)
+        assert model.time(conv_op, "slow") == pytest.approx(0.020)
+
+    def test_fallback_scaled_from_slower_device(self, conv_op):
+        model = ComputationCostModel(
+            device_scale={"fast": 1.0, "slow": 0.5}
+        )
+        model.observe("conv", "Conv2D", "slow", 0.020)
+        assert model.time(conv_op, "fast") == pytest.approx(0.010)
+
+    def test_direct_samples_not_rescaled(self, conv_op):
+        model = ComputationCostModel(
+            device_scale={"fast": 1.0, "slow": 0.5}
+        )
+        model.observe("conv", "Conv2D", "slow", 0.020)
+        # The device's own measurement is the truth; no scaling applied.
+        assert model.time(conv_op, "slow") == pytest.approx(0.020)
+
+    def test_unknown_device_defaults_to_full_speed(self, conv_op):
+        model = ComputationCostModel(device_scale={"slow": 0.5})
+        model.observe("conv", "Conv2D", "slow", 0.020)
+        assert model.time(conv_op, "elsewhere") == pytest.approx(0.010)
