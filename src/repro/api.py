@@ -40,6 +40,8 @@ from .obs import MetricsSnapshot, Observability
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .obs.analyze import StepAnalysis, TraceDiff
+    from .obs.calibration import CalibrationReport
+    from .obs.provenance import OpExplanation
 
 #: What ``optimize`` accepts as its model argument: a model-zoo name, a
 #: :class:`~repro.models.registry.ModelSpec`, or a bare model-builder
@@ -110,8 +112,37 @@ class OptimizeResult:
 
         return diff_results(self, other, steps=steps)
 
+    def explain_placement(self, op_name: str) -> "OpExplanation":
+        """Why did this (sub-)op land where it did?
+
+        Requires the run to have been made with
+        ``obs=Observability(provenance=True)``; reconstructs, from the
+        recorded journal, the chosen device with every alternative the
+        scheduler scored, and — for split ops — the accept/reject/prune
+        verdict chain that produced them.
+        ``print(result.explain_placement("op").render())`` for the TTY
+        report; ``.to_json()`` for the machine-readable one.
+        """
+        from .obs.provenance import ProvenanceError
+
+        provenance = getattr(self.session.obs, "provenance", None)
+        journal = getattr(provenance, "journal", None)
+        if journal is None:
+            raise ProvenanceError(
+                "no provenance journal was recorded; rerun with "
+                "obs=Observability(provenance=True)"
+            )
+        return journal.explain(op_name, placement=self.strategy.placement)
+
+    @property
+    def calibration(self) -> Optional["CalibrationReport"]:
+        """Cost-model calibration report (provenance-enabled runs only)."""
+        return self.report.calibration
+
     def summary(self) -> str:
         """A short human-readable account of the optimization."""
+        from .obs.report import render_search_counters
+
         lines = [
             f"model={self.model_name} devices={self.num_devices} "
             f"batch={self.global_batch}",
@@ -120,10 +151,16 @@ class OptimizeResult:
             f"iteration_time={self.iteration_time:.6f}s "
             f"speed={self.training_speed:.1f} samples/s "
             f"speedup={self.speedup_vs_initial:.2f}x",
-            f"search: evaluated={self.report.candidates_evaluated} "
-            f"pruned={self.report.candidates_pruned} "
-            f"rounds={len(self.report.rounds)}",
+            render_search_counters(self.report.metrics)
+            + f" over {len(self.report.rounds)} round(s)",
         ]
+        calibration = self.report.calibration
+        if calibration is not None and calibration.entries:
+            lines.append(
+                "calibration: "
+                f"max |rel| residual {calibration.max_abs_relative * 100:.1f}% "
+                f"over {len(calibration.entries)} prediction(s)"
+            )
         return "\n".join(lines)
 
 

@@ -19,7 +19,10 @@ from __future__ import annotations
 import time as _time
 import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.calibration import CalibrationReport, PredictionSet
 
 from ..cluster import Topology
 from ..costmodel import (
@@ -149,6 +152,9 @@ class CalculationReport:
     simulated_profiling_seconds: float = 0.0
     simulated_restart_seconds: float = 0.0
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    #: Predicted-vs-realized cost-model residuals for the surviving
+    #: strategy; populated only when provenance recording is enabled.
+    calibration: Optional["CalibrationReport"] = None
 
     @property
     def candidates_evaluated(self) -> int:
@@ -156,8 +162,16 @@ class CalculationReport:
         return int(self.metrics.get("search.candidates_evaluated", 0))
 
     @property
+    def splits_rejected(self) -> int:
+        """View of ``metrics["search.splits_rejected"]`` (rejected by
+        simulation: the candidate's DPOS makespan did not beat the
+        incumbent)."""
+        return int(self.metrics.get("search.splits_rejected", 0))
+
+    @property
     def candidates_pruned(self) -> int:
-        """View of ``metrics["search.candidates_pruned"]``."""
+        """View of ``metrics["search.candidates_pruned"]`` (pruned by
+        the lower bound: no DPOS rerun was needed to discard them)."""
         return int(self.metrics.get("search.candidates_pruned", 0))
 
     @property
@@ -212,7 +226,12 @@ class StrategyCalculator:
         self.communication = CommunicationCostModel(
             pair_class=topology.pair_class, topology=topology
         )
-        self._stability = StabilityMonitor(self.config.stability_tolerance)
+        self._stability = StabilityMonitor(
+            self.config.stability_tolerance, metrics=self.obs.metrics
+        )
+        #: Decision-time cost-model predictions per computed strategy
+        #: (id(strategy) -> PredictionSet), kept only under provenance.
+        self._predictions: Dict[int, "PredictionSet"] = {}
 
         initial_strategy.placement = apply_placement(
             input_graph, initial_strategy.placement, topology
@@ -294,6 +313,7 @@ class StrategyCalculator:
                     report.metrics[key] = report.metrics.get(key, 0) + value
             else:
                 dpos_result = dpos.run(graph.copy())
+                self.obs.provenance.record_dpos(graph.name, dpos_result)
                 strategy, rewritten = dpos_result.strategy, graph
             estimate = strategy.estimated_time
             if best is None or (
@@ -302,7 +322,21 @@ class StrategyCalculator:
             ):
                 best = (estimate, strategy, rewritten)
         assert best is not None
-        return best[1], best[2]
+        strategy, rewritten = best[1], best[2]
+        if self.obs.provenance.enabled:
+            # Calibration pillar: freeze what the cost models predicted
+            # for this strategy *now*, at decision time, so the residuals
+            # measure the models the search actually planned with.
+            from ..obs.calibration import capture_predictions
+
+            self._predictions[id(strategy)] = capture_predictions(
+                rewritten,
+                strategy.placement,
+                self.computation,
+                self.communication,
+                pair_class=self.topology.pair_class,
+            )
+        return strategy, rewritten
 
     # ------------------------------------------------------------------
     def run(self) -> CalculationReport:
@@ -330,7 +364,11 @@ class StrategyCalculator:
                 report.simulated_profiling_seconds
             )
             metrics.gauge("calculator.measured_time").set(report.measured_time)
-            # search.* totals already reach the registry via OSDPOS.run().
+            # search.* totals already reach the registry via OSDPOS.run();
+            # costmodel.stability.* via the StabilityMonitor's own hook.
+            if report.calibration is not None:
+                for key, value in report.calibration.metrics().items():
+                    metrics.gauge(key).set(value)
         return report
 
     def _run_rounds(self) -> CalculationReport:
@@ -460,4 +498,50 @@ class StrategyCalculator:
         report.strategy, report.graph, report.measured_time = best
         if report.initial_measured_time == float("inf"):
             report.initial_measured_time = report.measured_time
+        if self.obs.provenance.enabled:
+            report.calibration = self._calibrate(report.strategy, report.graph)
         return report
+
+    def _calibrate(
+        self, strategy: Strategy, graph: Graph
+    ) -> Optional["CalibrationReport"]:
+        """Join decision-time predictions against one realized step.
+
+        Runs one extra simulation step of the surviving strategy with
+        cost-model updates disabled, so calibration never perturbs the
+        search or the reported timings.
+        """
+        from ..obs.calibration import calibrate, capture_predictions
+
+        predictions = self._predictions.get(id(strategy))
+        if predictions is None:
+            # The surviving strategy never went through the search (the
+            # initial/default strategy won): capture post-hoc against the
+            # final models.
+            predictions = capture_predictions(
+                graph,
+                strategy.placement,
+                self.computation,
+                self.communication,
+                pair_class=self.topology.pair_class,
+            )
+        profiler = self._profiler_for(graph)
+        try:
+            if strategy.order and self.config.enable_order_enforcement:
+                order = complete_order(graph, strategy.order)
+                result = profiler.profile(
+                    strategy.placement, order=order, policy="priority",
+                    num_steps=1, update_models=False,
+                )
+            else:
+                result = profiler.profile(
+                    strategy.placement, num_steps=1, update_models=False
+                )
+        except SimulationOOMError:
+            return None
+        return calibrate(
+            predictions,
+            result.traces[-1],
+            drift=self._stability.last_drift,
+            drift_tolerance=self._stability.tolerance,
+        )

@@ -43,7 +43,12 @@ class _Costs:
 
 @dataclass
 class DPOSResult:
-    """Output of one DPOS run."""
+    """Output of one DPOS run.
+
+    ``decisions`` (op name -> :class:`~repro.obs.provenance.\
+PlacementDecision`) is populated only when the engine's ``obs`` hook has
+    provenance recording enabled; it never influences the strategy.
+    """
 
     strategy: Strategy
     finish_time: float
@@ -51,6 +56,7 @@ class DPOSResult:
     finish_times: Dict[str, float]
     critical_path: List[str]
     ranks: Dict[str, float]
+    decisions: Optional[Dict[str, object]] = None
 
     @property
     def placement(self) -> Dict[str, str]:
@@ -219,10 +225,21 @@ class DPOS:
         finish_times: Dict[str, float] = {}
         group_device: Dict[str, str] = {}
 
+        # Provenance (off by default): journal per-op decisions with the
+        # alternatives each selection rule actually compared.  The
+        # recording never feeds back into the schedule.
+        recording = self.obs.provenance.enabled
+        decisions: Optional[Dict[str, object]] = None
+        if recording:
+            from ..obs.provenance import PlacementAlternative, PlacementDecision
+
+            decisions = {}
+
         cp_pending: List[Operation] = list(cp_ops)
         cp_placed: Set[str] = set()
+        cp_alts: Optional[List] = [] if recording else None
         cp_device = self._select_cp_device(
-            cp_pending, cp_placed, devices, mem_used, costs
+            cp_pending, cp_placed, devices, mem_used, costs, collect=cp_alts
         )
 
         for name in sequence:
@@ -233,20 +250,46 @@ class DPOS:
                 if op.colocation_group is not None
                 else None
             )
+            reason = ""
+            alts: Optional[List] = None
             if forced is not None:
                 target = forced
+                if recording:
+                    reason = "colocated"
+                    alts = [PlacementAlternative(
+                        device=target, chosen=True,
+                        note=f"colocation group {op.colocation_group!r}",
+                    )]
             elif name in cp_names:
                 if mem_used[cp_device] + need > self.capacities[cp_device]:
+                    cp_alts = [] if recording else None
                     cp_device = self._select_cp_device(
                         cp_pending, cp_placed, devices, mem_used, costs,
-                        exclude={cp_device},
+                        exclude={cp_device}, collect=cp_alts,
                     )
                 target = cp_device
+                if recording:
+                    reason = "critical-path"
+                    alts = [
+                        PlacementAlternative(
+                            device=a.device, score=a.score,
+                            feasible=a.feasible,
+                            chosen=a.device == target, note=a.note,
+                        )
+                        for a in (cp_alts or [])
+                    ]
             else:
+                alts = [] if recording else None
                 target = self._min_eft_device(
                     op, devices, mem_used, need, placement,
-                    finish_times, schedules, costs,
+                    finish_times, schedules, costs, collect=alts,
                 )
+                if recording:
+                    reason = "min-eft"
+                    for a in alts:  # type: ignore[union-attr]
+                        a.chosen = a.device == target
+                    if not any(a.feasible for a in alts):  # type: ignore[union-attr]
+                        reason = "memory-overflow"
             start = self._schedule_on(
                 op, target, placement, finish_times, schedules[target], costs
             )
@@ -260,6 +303,27 @@ class DPOS:
                 group_device[op.colocation_group] = target
             if name in cp_names:
                 cp_placed.add(name)
+            if recording:
+                alts = alts or []
+                if not any(a.chosen for a in alts):
+                    alts.append(PlacementAlternative(
+                        device=target, chosen=True, note="memory fallback",
+                    ))
+                if reason == "colocated":
+                    # A forced op skips scoring; record its realized
+                    # finish so every decision carries a scored choice.
+                    alts[0].score = start + duration
+                    alts[0].start = start
+                decisions[name] = PlacementDecision(  # type: ignore[index]
+                    op_name=name,
+                    device=target,
+                    reason=reason,
+                    start=start,
+                    finish=start + duration,
+                    rank=ranks[name],
+                    on_critical_path=name in cp_names,
+                    alternatives=alts,
+                )
 
         order = sorted(
             start_times, key=lambda n: (start_times[n], -ranks[n], n)
@@ -278,6 +342,7 @@ class DPOS:
             finish_times=finish_times,
             critical_path=[op.name for op in cp_ops],
             ranks=ranks,
+            decisions=decisions,
         )
 
     # ------------------------------------------------------------------
@@ -289,14 +354,19 @@ class DPOS:
         mem_used: Dict[str, int],
         costs: _Costs,
         exclude: Optional[Set[str]] = None,
+        collect: Optional[List] = None,
     ) -> str:
         """Pick the critical-path device (Alg. 1 line 5).
 
         For each device, greedily fit as many remaining (unplaced) CP ops
         as memory allows and score by average computation time; the
         smallest average wins, then the larger fitted count, then device
-        order.
+        order.  ``collect`` (provenance recording only) receives one
+        :class:`~repro.obs.provenance.PlacementAlternative` per device
+        considered, scored by that average.
         """
+        if collect is not None:
+            from ..obs.provenance import PlacementAlternative
         exclude = exclude or set()
         remaining = [op for op in cp_pending if op.name not in cp_placed]
         best: Optional[Tuple[float, int, int, str]] = None
@@ -315,8 +385,18 @@ class DPOS:
                 fitted += 1
                 total += costs.time(op, dev)
             if fitted == 0 and remaining:
+                if collect is not None:
+                    collect.append(PlacementAlternative(
+                        device=dev, feasible=False,
+                        note="no critical-path op fits in memory",
+                    ))
                 continue
             avg = total / fitted if fitted else 0.0
+            if collect is not None:
+                collect.append(PlacementAlternative(
+                    device=dev, score=avg,
+                    note=f"avg cp-op time over {fitted}/{len(remaining)} fitted",
+                ))
             key = (avg, -fitted, idx, dev)
             if best is None or key < best:
                 best = key
@@ -345,19 +425,35 @@ class DPOS:
         finish_times: Dict[str, float],
         schedules: Dict[str, _DeviceSchedule],
         costs: _Costs,
+        collect: Optional[List] = None,
     ) -> str:
-        """Alg. 1 lines 12-19: min-EFT device among those with memory."""
+        """Alg. 1 lines 12-19: min-EFT device among those with memory.
+
+        ``collect`` (provenance recording only) receives one
+        :class:`~repro.obs.provenance.PlacementAlternative` per device,
+        scored by the EFT the selection compared.
+        """
+        if collect is not None:
+            from ..obs.provenance import PlacementAlternative
         best_dev: Optional[str] = None
         best_eft = _INF
         feasible = False
         for dev in devices:
             if mem_used[dev] + need > self.capacities[dev]:
+                if collect is not None:
+                    collect.append(PlacementAlternative(
+                        device=dev, feasible=False, note="out of memory",
+                    ))
                 continue
             feasible = True
             est = self._schedule_on(
                 op, dev, placement, finish_times, schedules[dev], costs
             )
             eft = est + costs.time(op, dev)
+            if collect is not None:
+                collect.append(PlacementAlternative(
+                    device=dev, score=eft, start=est,
+                ))
             if eft < best_eft:
                 best_eft = eft
                 best_dev = dev

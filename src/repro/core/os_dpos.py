@@ -44,6 +44,7 @@ from ..graph.rewrite import (
     SplitError,
     SplitTransaction,
     split_operation,
+    sub_op_names,
 )
 from ..obs import MetricsSnapshot, Observability, get_obs
 from .dpos import DPOS, DPOSResult
@@ -285,6 +286,7 @@ class OSDPOS:
             dpos = DPOS(
                 topology, computation, communication,
                 memory_fraction=memory_fraction,
+                obs=obs,
             )
         elif topology is not None or computation is not None \
                 or communication is not None:
@@ -331,19 +333,21 @@ class OSDPOS:
         copy.  All evaluation modes return identical strategies.
         """
         obs = self.obs
+        mode = "naive" if self.naive else "incremental"
+        search = obs.provenance.begin_search(graph=graph.name, mode=mode)
         with obs.tracer.span(
             "search.osdpos",
             cat="search",
             args={
                 "graph": graph.name,
                 "ops": graph.num_ops,
-                "mode": "naive" if self.naive else "incremental",
+                "mode": mode,
             },
         ):
             if self.naive:
-                result = self._run_naive(graph)
+                result = self._run_naive(graph, search)
             else:
-                result = self._run_incremental(graph)
+                result = self._run_incremental(graph, search)
         if obs.enabled:
             metrics = obs.metrics
             metrics.counter("search.runs").inc()
@@ -362,9 +366,10 @@ class OSDPOS:
     # ------------------------------------------------------------------
     # Reference path: copy the whole graph per candidate
     # ------------------------------------------------------------------
-    def _run_naive(self, graph: Graph) -> OSDPOSResult:
+    def _run_naive(self, graph: Graph, search) -> OSDPOSResult:
         current_graph = graph.copy()
         best = self.dpos.run(current_graph)
+        search.record_initial(best.finish_time)
         split_list: List[SplitDecision] = []
         candidates_evaluated = 0
         splits_rejected = 0
@@ -373,32 +378,44 @@ class OSDPOS:
             cp_ops = self._placement_critical_path(current_graph, best)
             if self.max_candidate_ops is not None:
                 cp_ops = cp_ops[: self.max_candidate_ops]
+            search.set_candidate_ops(cp_ops)
             for op_name in cp_ops:
                 if op_name not in current_graph:
                     continue  # consumed by an earlier committed split
                 op = current_graph.get_op(op_name)
                 if not op.is_splittable:
                     continue
-                outcome = self._best_split_for(current_graph, op)
+                rnd = search.begin_op(op_name, incumbent=best.finish_time)
+                outcome = self._best_split_for(current_graph, op, rnd)
                 if outcome is None:
+                    rnd.no_candidates()
                     continue
                 decision, candidate_graph, candidate_result, tried = outcome
                 candidates_evaluated += tried
                 if candidate_result.finish_time < best.finish_time:
+                    rnd.accept(
+                        decision.dim, decision.num_splits,
+                        sub_ops=sub_op_names(
+                            decision.op_name, decision.num_splits
+                        ),
+                        makespan=candidate_result.finish_time,
+                    )
                     split_list.append(decision)
                     current_graph = candidate_graph
                     best = candidate_result
                 else:
+                    rnd.reject(best_makespan=candidate_result.finish_time)
                     splits_rejected += 1
                     break  # paper: stop at the first non-improving CP op
 
         return self._package(
             current_graph, best, split_list,
             candidates_evaluated, splits_rejected, 0,
+            search=search,
         )
 
     def _best_split_for(
-        self, base_graph: Graph, op: Operation
+        self, base_graph: Graph, op: Operation, rnd
     ) -> Optional[Tuple[SplitDecision, Graph, DPOSResult, int]]:
         """Try every (dimension, split count) for ``op``; keep the best."""
         best: Optional[Tuple[SplitDecision, Graph, DPOSResult]] = None
@@ -412,9 +429,11 @@ class OSDPOS:
                     candidate_graph, candidate_graph.get_op(op.name), dim, count
                 )
             except SplitError:
+                rnd.candidate(dim, count, "infeasible")
                 continue  # extent too small for this count, etc.
             result = self.dpos.run(candidate_graph)
             tried += 1
+            rnd.candidate(dim, count, "rejected", makespan=result.finish_time)
             if best is None or result.finish_time < best[2].finish_time:
                 best = (
                     SplitDecision(op_name=op.name, dim=dim, num_splits=count),
@@ -428,7 +447,7 @@ class OSDPOS:
     # ------------------------------------------------------------------
     # Incremental path: one working graph, transactional candidates
     # ------------------------------------------------------------------
-    def _run_incremental(self, graph: Graph) -> OSDPOSResult:
+    def _run_incremental(self, graph: Graph, search) -> OSDPOSResult:
         working = graph.copy()
         devices = self.dpos.topology.device_names
         cache = CostCache(
@@ -437,6 +456,7 @@ class OSDPOS:
         if self.obs.enabled:
             cache.enable_stats()
         best = self.dpos.run(working, cost_cache=cache)
+        search.record_initial(best.finish_time)
         split_list: List[SplitDecision] = []
         evaluated = 0
         pruned = 0
@@ -464,6 +484,7 @@ class OSDPOS:
                 )
                 if self.max_candidate_ops is not None:
                     cp_ops = cp_ops[: self.max_candidate_ops]
+                search.set_candidate_ops(cp_ops)
                 tracer = self.obs.tracer
                 for op_name in cp_ops:
                     if op_name not in working:
@@ -471,16 +492,18 @@ class OSDPOS:
                     op = working.get_op(op_name)
                     if not op.is_splittable:
                         continue
+                    rnd = search.begin_op(op_name, incumbent=best.finish_time)
                     with tracer.span(
                         f"evaluate:{op_name}", cat="search.candidates"
                     ):
                         outcome = self._evaluate_op(
                             working, op, cache, bounds, best.finish_time,
-                            executor,
+                            executor, rnd,
                         )
                     evaluated += outcome.evaluated
                     pruned += outcome.pruned
                     if outcome.attempted == 0:
+                        rnd.no_candidates()
                         continue  # no structurally possible split
                     if (
                         outcome.best is not None
@@ -491,6 +514,11 @@ class OSDPOS:
                             working, op, decision.dim, decision.num_splits
                         )
                         txn.apply()
+                        rnd.accept(
+                            decision.dim, decision.num_splits,
+                            sub_ops=[o.name for o in txn.sub_ops],
+                            makespan=result.finish_time,
+                        )
                         cache.invalidate(txn.commit())
                         split_list.append(decision)
                         best = result
@@ -506,6 +534,12 @@ class OSDPOS:
                         if self.prune:
                             bounds = _SearchBounds(cache)
                     else:
+                        rnd.reject(
+                            best_makespan=(
+                                None if outcome.best is None
+                                else outcome.best[1].finish_time
+                            )
+                        )
                         rejected += 1
                         break  # first non-improving CP op stops the search
         finally:
@@ -514,7 +548,7 @@ class OSDPOS:
 
         return self._package(
             working, best, split_list, evaluated, rejected, pruned,
-            cache=cache,
+            cache=cache, search=search,
         )
 
     def _evaluate_op(
@@ -525,6 +559,7 @@ class OSDPOS:
         bounds: Optional[_SearchBounds],
         incumbent: float,
         executor: Optional[ProcessPoolExecutor],
+        rnd,
     ) -> _OpOutcome:
         """Apply/evaluate/undo every (dim, count) candidate of one op.
 
@@ -545,6 +580,7 @@ class OSDPOS:
                 txn.apply()
             except SplitError:
                 cache.invalidate(txn.touched)
+                rnd.candidate(dim, count, "infeasible")
                 continue  # extent too small for this count, etc.
             cache.invalidate(txn.touched)
             attempted += 1
@@ -558,8 +594,13 @@ class OSDPOS:
                 threshold = incumbent
                 if best is not None and best[1].finish_time < threshold:
                     threshold = best[1].finish_time
-                if self._candidate_lower_bound(txn, bounds, cache) >= threshold:
+                lower_bound = self._candidate_lower_bound(txn, bounds, cache)
+                if lower_bound >= threshold:
                     pruned += 1
+                    rnd.candidate(
+                        dim, count, "pruned",
+                        lower_bound=lower_bound, threshold=threshold,
+                    )
                     cache.invalidate(txn.undo())
                     continue
             if executor is not None:
@@ -568,6 +609,7 @@ class OSDPOS:
                 continue
             result = self.dpos.run(working, cost_cache=cache)
             evaluated += 1
+            rnd.candidate(dim, count, "rejected", makespan=result.finish_time)
             cache.invalidate(txn.undo())
             if best is None or result.finish_time < best[1].finish_time:
                 best = (txn.decision, result)
@@ -581,8 +623,12 @@ class OSDPOS:
             for (dim, count), future in zip(survivors, futures):
                 result = future.result()
                 if result is None:
+                    rnd.candidate(dim, count, "infeasible")
                     continue
                 evaluated += 1
+                rnd.candidate(
+                    dim, count, "rejected", makespan=result.finish_time
+                )
                 if best is None or result.finish_time < best[1].finish_time:
                     decision = SplitDecision(
                         op_name=op.name, dim=dim, num_splits=count
@@ -660,7 +706,10 @@ class OSDPOS:
         rejected: int,
         pruned: int,
         cache: Optional[CostCache] = None,
+        search=None,
     ) -> OSDPOSResult:
+        if search is not None:
+            search.finalize(best)
         strategy = Strategy(
             placement=dict(best.strategy.placement),
             order=list(best.strategy.order),

@@ -14,7 +14,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..baselines import (
     build_data_parallel_baseline,
@@ -41,6 +41,9 @@ from ..obs import (
 )
 from ..profiling import StepTrace
 from ..sim import ExecutionSimulator, SimulationOOMError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.calibration import CalibrationReport
 
 #: Default cluster columns of Table 1 (strong scaling).
 STRONG_SCALING_CONFIGS = [(1, 1), (2, 1), (4, 1), (8, 1), (8, 2)]
@@ -92,9 +95,20 @@ def get_trace_dir() -> Optional[str]:
     return _TRACE_DIR
 
 
+#: Opt-in env flag: ``REPRO_TRACE_PROVENANCE=1`` makes traced trials
+#: also journal every search decision (exported as
+#: ``<stem>.provenance.json`` / ``<stem>.calibration.json``).  Off by
+#: default so the perf gate measures the provenance-off search path.
+_PROVENANCE_ENV = "REPRO_TRACE_PROVENANCE"
+
+
 def _trial_obs() -> Optional[Observability]:
     """A recording hook when a trace dir is set, else None (no-op obs)."""
-    return Observability() if _TRACE_DIR else None
+    if not _TRACE_DIR:
+        return None
+    return Observability(
+        provenance=os.environ.get(_PROVENANCE_ENV, "") == "1"
+    )
 
 
 def _trial_stem(result: "TrialResult") -> str:
@@ -135,6 +149,7 @@ def _export_summary(result: "TrialResult") -> None:
         search_seconds=result.search_seconds or None,
         algorithm_seconds=result.algorithm_seconds or None,
         devices_used=result.devices_used,
+        calibration=result.extra.get("calibration"),
     )
 
 
@@ -142,6 +157,7 @@ def _export_trial(
     result: "TrialResult",
     obs: Optional[Observability] = None,
     traces: Optional[List[StepTrace]] = None,
+    calibration: Optional["CalibrationReport"] = None,
 ) -> None:
     """Write ``<model>_<method>_<G>x<S>.{trace,metrics,step}`` files."""
     if not _TRACE_DIR:
@@ -160,6 +176,11 @@ def _export_trial(
                 "num_servers": result.num_servers,
             },
         )
+        # Provenance journal (REPRO_TRACE_PROVENANCE=1 runs only): what
+        # `python -m repro.obs.provenance <dir> --op <name>` reads.
+        obs.export_provenance(f"{base}.provenance.json")
+    if calibration is not None and calibration.entries:
+        calibration.save(f"{base}.calibration.json")
     if traces:
         export_step_trace(f"{base}.step.trace.json", traces[-1])
         # The analyzer's input: the same step, schema-versioned, with
@@ -389,7 +410,12 @@ def run_fastt_trial(
         result.extra["rounds"] = len(report.rounds)
         result.extra["candidates_evaluated"] = report.candidates_evaluated
         result.extra["candidates_pruned"] = report.candidates_pruned
-        _export_trial(result, obs=obs, traces=traces)
+        result.extra["splits_rejected"] = report.splits_rejected
+        if report.calibration is not None and report.calibration.entries:
+            result.extra["calibration"] = report.calibration.summary()
+        _export_trial(
+            result, obs=obs, traces=traces, calibration=report.calibration
+        )
     except SimulationOOMError:
         result.oom = True
     return result
@@ -541,6 +567,7 @@ def optimized_session(
                 f"{model.name}_session_{num_gpus}x{num_servers}",
             )
             export_tracer(f"{base}.trace.json", obs.tracer)
+            obs.export_provenance(f"{base}.provenance.json")
             write_metrics_json(
                 f"{base}.metrics.json",
                 obs.snapshot(),

@@ -55,11 +55,81 @@ from .metrics import (
 from .tracer import NULL_TRACER, NullTracer, Tracer
 
 
-class Observability:
-    """The ``obs=`` hook: one tracer plus one metrics registry.
+class _NullOpRound:
+    """No-op stand-in for :class:`~repro.obs.provenance.OpRound`."""
 
-    ``Observability()`` records; :data:`NULL_OBS` (the library default)
-    is the disabled instance whose tracer and registry are no-ops.
+    __slots__ = ()
+    enabled = False
+
+    def candidate(self, *args, **kwargs) -> None:
+        return None
+
+    def accept(self, *args, **kwargs) -> None:
+        return None
+
+    def reject(self, *args, **kwargs) -> None:
+        return None
+
+    def no_candidates(self) -> None:
+        return None
+
+
+class _NullSearchRecord:
+    """No-op stand-in for :class:`~repro.obs.provenance.SearchRecord`."""
+
+    __slots__ = ()
+    enabled = False
+
+    def record_initial(self, *args, **kwargs) -> None:
+        return None
+
+    def set_candidate_ops(self, *args, **kwargs) -> None:
+        return None
+
+    def begin_op(self, *args, **kwargs) -> "_NullOpRound":
+        return _NULL_OP_ROUND
+
+    def finalize(self, *args, **kwargs) -> None:
+        return None
+
+
+class NullProvenance:
+    """The zero-cost default for ``obs.provenance``: records nothing.
+
+    Mirrors :class:`~repro.obs.provenance.ProvenanceRecorder`'s builder
+    surface so the engines never branch beyond ``enabled`` checks.
+    (Defined here rather than in :mod:`repro.obs.provenance` so that
+    importing ``repro.obs`` — which every run does — does not import the
+    journal machinery, and ``python -m repro.obs.provenance`` never
+    trips runpy's double-import warning.)
+    """
+
+    __slots__ = ()
+    enabled = False
+    journal = None
+
+    def begin_search(self, *args, **kwargs) -> "_NullSearchRecord":
+        return _NULL_SEARCH_RECORD
+
+    def record_dpos(self, *args, **kwargs) -> None:
+        return None
+
+
+_NULL_OP_ROUND = _NullOpRound()
+_NULL_SEARCH_RECORD = _NullSearchRecord()
+
+#: Shared no-op provenance recorder (the ``obs.provenance`` default).
+NULL_PROVENANCE = NullProvenance()
+
+
+class Observability:
+    """The ``obs=`` hook: tracer + metrics registry (+ provenance).
+
+    ``Observability()`` records spans and metrics; :data:`NULL_OBS` (the
+    library default) is the disabled instance whose every instrument is
+    a no-op.  ``provenance=True`` additionally journals every DPOS /
+    OS-DPOS decision (see :mod:`repro.obs.provenance`); the default is
+    the shared no-op recorder, so searches pay nothing for it.
     """
 
     def __init__(
@@ -67,6 +137,7 @@ class Observability:
         enabled: bool = True,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        provenance: bool = False,
     ) -> None:
         self.enabled = enabled
         if enabled:
@@ -75,11 +146,24 @@ class Observability:
         else:
             self.tracer = NULL_TRACER
             self.metrics = NullMetricsRegistry()
+        if enabled and provenance:
+            from .provenance import ProvenanceRecorder
+
+            self.provenance = ProvenanceRecorder()
+        else:
+            self.provenance = NULL_PROVENANCE
 
     # ------------------------------------------------------------------
     def export_chrome_trace(self, path: str) -> Optional[str]:
         """Write the tracer's timeline; returns None when disabled/empty."""
         return export_tracer(path, self.tracer)
+
+    def export_provenance(self, path: str) -> Optional[str]:
+        """Write the provenance journal; None when disabled or empty."""
+        journal = getattr(self.provenance, "journal", None)
+        if journal is None or not journal.searches:
+            return None
+        return journal.save(path)
 
     def export_metrics_json(self, path: str, **extra: object) -> str:
         return write_metrics_json(path, self.metrics.snapshot(), extra=extra)
@@ -109,6 +193,7 @@ _ANALYZE_EXPORTS = (
     "TraceDiff",
     "analyze_step",
     "analyze_utilization",
+    "cite_divergences",
     "compare_runs",
     "diff_results",
     "diff_strategies",
@@ -118,12 +203,47 @@ _ANALYZE_EXPORTS = (
     "write_gate_summary",
 )
 
+#: Provenance-journal names, lazily re-exported for the same reason
+#: (``python -m repro.obs.provenance`` is a CLI entry point).
+_PROVENANCE_EXPORTS = (
+    "OpExplanation",
+    "OpRound",
+    "PlacementAlternative",
+    "PlacementDecision",
+    "ProvenanceError",
+    "ProvenanceJournal",
+    "ProvenanceRecorder",
+    "ProvenanceSchemaError",
+    "SearchRecord",
+    "SplitCandidate",
+)
+
+#: Cost-model calibration names (capture/join/report).
+_CALIBRATION_EXPORTS = (
+    "CalibrationReport",
+    "CalibrationSchemaError",
+    "FamilyStats",
+    "Prediction",
+    "PredictionSet",
+    "ResidualEntry",
+    "calibrate",
+    "capture_predictions",
+)
+
 
 def __getattr__(name: str):
     if name in _ANALYZE_EXPORTS:
         from . import analyze
 
         return getattr(analyze, name)
+    if name in _PROVENANCE_EXPORTS:
+        from . import provenance
+
+        return getattr(provenance, name)
+    if name in _CALIBRATION_EXPORTS:
+        from . import calibration
+
+        return getattr(calibration, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -132,14 +252,18 @@ def get_obs(obs: Optional[Observability]) -> Observability:
     return NULL_OBS if obs is None else obs
 
 
-__all__ = list(_ANALYZE_EXPORTS) + [
+__all__ = list(_ANALYZE_EXPORTS) + list(_PROVENANCE_EXPORTS) + list(
+    _CALIBRATION_EXPORTS
+) + [
     "Counter",
     "Gauge",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_OBS",
+    "NULL_PROVENANCE",
     "NULL_TRACER",
     "NullMetricsRegistry",
+    "NullProvenance",
     "NullTracer",
     "Observability",
     "Timer",

@@ -601,6 +601,10 @@ class StrategyDiff:
     splits_added: List[str] = field(default_factory=list)
     splits_removed: List[str] = field(default_factory=list)
     splits_changed: List[str] = field(default_factory=list)
+    #: Op name -> provenance-journal citations ("A: ...", "B: ...")
+    #: explaining the divergence; filled by :func:`diff_results` when
+    #: either side recorded a journal.
+    citations: Dict[str, List[str]] = field(default_factory=dict)
 
     @property
     def identical(self) -> bool:
@@ -618,6 +622,7 @@ class StrategyDiff:
             "splits_added": self.splits_added,
             "splits_removed": self.splits_removed,
             "splits_changed": self.splits_changed,
+            "citations": {k: list(v) for k, v in sorted(self.citations.items())},
         }
 
 
@@ -787,15 +792,50 @@ def diff_traces(
     )
 
 
+def _result_journal(result):
+    """The provenance journal an OptimizeResult's session recorded."""
+    obs = getattr(getattr(result, "session", None), "obs", None)
+    return getattr(getattr(obs, "provenance", None), "journal", None)
+
+
+def cite_divergences(diff: StrategyDiff, journal_a, journal_b) -> None:
+    """Fill ``diff.citations`` from the two sides' provenance journals.
+
+    For every moved op and every split divergence, asks each side's
+    journal why it decided what it decided, so the strategy diff names
+    the journal entries that caused the divergence.
+    """
+    interesting = [name for name, _, _ in diff.moved]
+    interesting += diff.splits_added + diff.splits_removed + diff.splits_changed
+    for name in interesting:
+        lines: List[str] = []
+        for side, journal in (("A", journal_a), ("B", journal_b)):
+            if journal is None:
+                continue
+            cite = journal.cite(name)
+            if cite is not None:
+                lines.append(f"{side}: {cite}")
+        if lines:
+            diff.citations[name] = lines
+
+
 def diff_results(result_a, result_b, steps: int = 1) -> TraceDiff:
     """Diff two ``OptimizeResult``s: re-simulate both strategies and
-    attribute the makespan delta (``OptimizeResult.diff`` calls this)."""
+    attribute the makespan delta (``OptimizeResult.diff`` calls this).
+
+    When either side was run with provenance recording enabled, the
+    structural diff also carries journal citations explaining each
+    divergence (``diff.strategy.citations``)."""
     trace_a = result_a.session.run(steps)[-1]
     trace_b = result_b.session.run(steps)[-1]
+    strategy_diff = diff_strategies(result_a.strategy, result_b.strategy)
+    cite_divergences(
+        strategy_diff, _result_journal(result_a), _result_journal(result_b)
+    )
     return diff_traces(
         trace_a,
         trace_b,
-        strategy_diff=diff_strategies(result_a.strategy, result_b.strategy),
+        strategy_diff=strategy_diff,
         label_a=f"{result_a.model_name}/{result_a.strategy.label}",
         label_b=f"{result_b.model_name}/{result_b.strategy.label}",
     )

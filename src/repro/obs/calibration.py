@@ -1,0 +1,424 @@
+"""Cost-model calibration: predicted vs realized op and transfer times.
+
+The strategy search is only as good as the cost models it plans with
+(PaSE's lesson), so when provenance recording is on the calculator
+captures, *at decision time*, the computation model's predicted (op,
+device) times and the communication model's predicted per-route transfer
+times for the strategy it activates, then joins them against the
+simulator's realized times after the run:
+
+* **residual** = realized - predicted, reported as absolute relative
+  error quantiles (p50/p90/max) per family (op type for compute,
+  route pair-class for transfers);
+* a **worst-offender table** names the individual predictions that
+  missed the most;
+* the existing :class:`~repro.costmodel.StabilityMonitor` drift rides
+  along so a report reads as "the model had converged (or not) when
+  this strategy was chosen".
+
+On a simulator-backed oracle run (oracle cost models sharing the
+simulator's :class:`~repro.hardware.PerfModel`, zero noise) every
+residual is exactly zero — the calibration layer's own correctness
+check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..graph import Graph
+
+#: Calibration report file-format version; bump on incompatible changes.
+CALIBRATION_SCHEMA_VERSION = 1
+
+
+class CalibrationSchemaError(ValueError):
+    """A persisted calibration report has an unknown/malformed schema."""
+
+
+@dataclass
+class Prediction:
+    """One cost-model prediction captured at decision time."""
+
+    #: ``compute`` | ``transfer``
+    kind: str
+    #: Op name, or ``tensor|src|dst`` for a transfer.
+    key: str
+    #: Grouping family: op type for compute, route pair-class for
+    #: transfers.
+    family: str
+    #: Device for compute; ``src->dst`` for transfers.
+    device: str
+    predicted: float
+
+
+@dataclass
+class PredictionSet:
+    """Everything the planner predicted for one activated strategy."""
+
+    ops: Dict[str, Prediction] = field(default_factory=dict)
+    transfers: Dict[Tuple[str, str, str], Prediction] = field(
+        default_factory=dict
+    )
+
+    def __len__(self) -> int:
+        return len(self.ops) + len(self.transfers)
+
+
+def capture_predictions(
+    graph: Graph,
+    placement: Mapping[str, str],
+    computation,
+    communication,
+    pair_class: Optional[Callable[[str, str], str]] = None,
+) -> PredictionSet:
+    """Snapshot the cost models' predictions for one placed graph.
+
+    ``computation`` / ``communication`` are any objects with the DPOS
+    cost-model interface (``time(op, device)`` / ``time(src, dst,
+    bytes)``) — the profiled models, or the oracle models in tests.
+    """
+    preds = PredictionSet()
+    for op in graph.ops:
+        device = placement.get(op.name)
+        if device is None:
+            continue
+        preds.ops[op.name] = Prediction(
+            kind="compute",
+            key=op.name,
+            family=op.op_type,
+            device=device,
+            predicted=computation.time(op, device),
+        )
+    for op in graph.ops:
+        dst = placement.get(op.name)
+        if dst is None:
+            continue
+        for tensor in op.inputs:
+            producer = tensor.producer
+            if producer is None:
+                continue
+            src = placement.get(producer.name)
+            if src is None or src == dst:
+                continue
+            key = (tensor.name, src, dst)
+            if key in preds.transfers:
+                continue
+            family = pair_class(src, dst) if pair_class is not None else "transfer"
+            preds.transfers[key] = Prediction(
+                kind="transfer",
+                key=f"{tensor.name}|{src}|{dst}",
+                family=family,
+                device=f"{src}->{dst}",
+                predicted=communication.time(src, dst, tensor.size_bytes),
+            )
+    return preds
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class ResidualEntry:
+    """One joined (predicted, realized) pair."""
+
+    kind: str
+    key: str
+    family: str
+    device: str
+    predicted: float
+    realized: float
+
+    @property
+    def residual(self) -> float:
+        return self.realized - self.predicted
+
+    @property
+    def abs_relative(self) -> float:
+        """|residual| / realized (relative to the ground truth)."""
+        denominator = max(abs(self.realized), 1e-12)
+        return abs(self.residual) / denominator
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "key": self.key,
+            "family": self.family,
+            "device": self.device,
+            "predicted": self.predicted,
+            "realized": self.realized,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ResidualEntry":
+        return cls(
+            kind=str(data["kind"]),
+            key=str(data["key"]),
+            family=str(data["family"]),
+            device=str(data["device"]),
+            predicted=float(data["predicted"]),  # type: ignore[arg-type]
+            realized=float(data["realized"]),  # type: ignore[arg-type]
+        )
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = int(round(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+@dataclass
+class FamilyStats:
+    """Residual quantiles of one (kind, family) prediction group."""
+
+    kind: str
+    family: str
+    count: int
+    p50_abs_relative: float
+    p90_abs_relative: float
+    max_abs_relative: float
+    mean_abs_relative: float
+
+    @classmethod
+    def over(cls, kind: str, family: str, entries: List[ResidualEntry]) -> "FamilyStats":
+        values = sorted(e.abs_relative for e in entries)
+        return cls(
+            kind=kind,
+            family=family,
+            count=len(values),
+            p50_abs_relative=_quantile(values, 0.5),
+            p90_abs_relative=_quantile(values, 0.9),
+            max_abs_relative=values[-1] if values else 0.0,
+            mean_abs_relative=sum(values) / len(values) if values else 0.0,
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "family": self.family,
+            "count": self.count,
+            "p50_abs_relative": self.p50_abs_relative,
+            "p90_abs_relative": self.p90_abs_relative,
+            "max_abs_relative": self.max_abs_relative,
+            "mean_abs_relative": self.mean_abs_relative,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "FamilyStats":
+        return cls(
+            kind=str(data["kind"]),
+            family=str(data["family"]),
+            count=int(data["count"]),  # type: ignore[arg-type]
+            p50_abs_relative=float(data["p50_abs_relative"]),  # type: ignore[arg-type]
+            p90_abs_relative=float(data["p90_abs_relative"]),  # type: ignore[arg-type]
+            max_abs_relative=float(data["max_abs_relative"]),  # type: ignore[arg-type]
+            mean_abs_relative=float(data["mean_abs_relative"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class CalibrationReport:
+    """Joined predicted-vs-realized residuals for one deployed strategy."""
+
+    entries: List[ResidualEntry] = field(default_factory=list)
+    #: Predictions with no realized counterpart in the trace.
+    unmatched_predictions: int = 0
+    #: Realized records the planner never predicted.
+    unmatched_realized: int = 0
+    #: StabilityMonitor's last snapshot-to-snapshot max relative drift.
+    drift: Optional[float] = None
+    #: The stability tolerance the drift was judged against.
+    drift_tolerance: Optional[float] = None
+
+    @property
+    def families(self) -> List[FamilyStats]:
+        groups: Dict[Tuple[str, str], List[ResidualEntry]] = {}
+        for entry in self.entries:
+            groups.setdefault((entry.kind, entry.family), []).append(entry)
+        # Per-kind roll-ups first, then the individual families.
+        kinds: Dict[str, List[ResidualEntry]] = {}
+        for entry in self.entries:
+            kinds.setdefault(entry.kind, []).append(entry)
+        stats = [
+            FamilyStats.over(kind, "(all)", entries)
+            for kind, entries in sorted(kinds.items())
+        ]
+        stats.extend(
+            FamilyStats.over(kind, family, group)
+            for (kind, family), group in sorted(groups.items())
+        )
+        return stats
+
+    def worst(self, limit: int = 10) -> List[ResidualEntry]:
+        return sorted(self.entries, key=lambda e: -e.abs_relative)[:limit]
+
+    @property
+    def max_abs_relative(self) -> float:
+        return max((e.abs_relative for e in self.entries), default=0.0)
+
+    @property
+    def stable(self) -> Optional[bool]:
+        if self.drift is None or self.drift_tolerance is None:
+            return None
+        return self.drift <= self.drift_tolerance
+
+    def metrics(self) -> Dict[str, float]:
+        """Summary gauges, merged into the run's metrics registry."""
+        out: Dict[str, float] = {
+            "calibration.entries": float(len(self.entries)),
+            "calibration.unmatched_predictions": float(
+                self.unmatched_predictions
+            ),
+            "calibration.unmatched_realized": float(self.unmatched_realized),
+        }
+        for stats in self.families:
+            if stats.family != "(all)":
+                continue
+            out[f"calibration.{stats.kind}.p50_abs_relative"] = (
+                stats.p50_abs_relative
+            )
+            out[f"calibration.{stats.kind}.p90_abs_relative"] = (
+                stats.p90_abs_relative
+            )
+            out[f"calibration.{stats.kind}.max_abs_relative"] = (
+                stats.max_abs_relative
+            )
+        if self.drift is not None:
+            out["calibration.costmodel_drift"] = self.drift
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        """Small dict for harness per-trial summaries."""
+        out: Dict[str, object] = {
+            "entries": len(self.entries),
+            "unmatched_predictions": self.unmatched_predictions,
+            "unmatched_realized": self.unmatched_realized,
+            "max_abs_relative": self.max_abs_relative,
+            "drift": self.drift,
+            "stable": self.stable,
+        }
+        for stats in self.families:
+            if stats.family == "(all)":
+                out[f"{stats.kind}_p50_abs_relative"] = stats.p50_abs_relative
+                out[f"{stats.kind}_p90_abs_relative"] = stats.p90_abs_relative
+        return out
+
+    def render(self) -> str:
+        from .report import render_calibration
+
+        return render_calibration(self)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema": CALIBRATION_SCHEMA_VERSION,
+            "entries": [e.to_json() for e in self.entries],
+            "unmatched_predictions": self.unmatched_predictions,
+            "unmatched_realized": self.unmatched_realized,
+            "drift": self.drift,
+            "drift_tolerance": self.drift_tolerance,
+            "families": [f.to_json() for f in self.families],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "CalibrationReport":
+        if not isinstance(data, dict) or "schema" not in data:
+            raise CalibrationSchemaError(
+                "not a calibration report (missing 'schema')"
+            )
+        if data["schema"] != CALIBRATION_SCHEMA_VERSION:
+            raise CalibrationSchemaError(
+                f"unsupported calibration schema {data['schema']!r}; "
+                f"this build reads version {CALIBRATION_SCHEMA_VERSION}"
+            )
+        return cls(
+            entries=[
+                ResidualEntry.from_json(e) for e in data.get("entries", [])  # type: ignore[union-attr]
+            ],
+            unmatched_predictions=int(data.get("unmatched_predictions", 0)),  # type: ignore[arg-type]
+            unmatched_realized=int(data.get("unmatched_realized", 0)),  # type: ignore[arg-type]
+            drift=(
+                None if data.get("drift") is None
+                else float(data["drift"])  # type: ignore[arg-type]
+            ),
+            drift_tolerance=(
+                None if data.get("drift_tolerance") is None
+                else float(data["drift_tolerance"])  # type: ignore[arg-type]
+            ),
+        )
+
+    def save(self, path: str) -> str:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=1)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "CalibrationReport":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(json.load(fh))
+
+
+def calibrate(
+    predictions: PredictionSet,
+    trace,
+    drift: Optional[float] = None,
+    drift_tolerance: Optional[float] = None,
+) -> CalibrationReport:
+    """Join decision-time predictions against one realized StepTrace.
+
+    Realized compute time is the op's kernel duration; realized transfer
+    time for a logical route is the *sum of per-hop durations* of its
+    TransferRecords (schema v2 writes one record per hop, all carrying
+    the endpoint (src, dst) devices).
+    """
+    realized_ops: Dict[str, float] = {}
+    for rec in trace.op_records:
+        realized_ops[rec.op_name] = rec.duration
+    realized_transfers: Dict[Tuple[str, str, str], float] = {}
+    for rec in trace.transfer_records:
+        key = (rec.tensor_name, rec.src_device, rec.dst_device)
+        realized_transfers[key] = realized_transfers.get(key, 0.0) + rec.duration
+
+    entries: List[ResidualEntry] = []
+    unmatched_predictions = 0
+    for name, pred in predictions.ops.items():
+        realized = realized_ops.pop(name, None)
+        if realized is None:
+            unmatched_predictions += 1
+            continue
+        entries.append(
+            ResidualEntry(
+                kind=pred.kind,
+                key=pred.key,
+                family=pred.family,
+                device=pred.device,
+                predicted=pred.predicted,
+                realized=realized,
+            )
+        )
+    for key, pred in predictions.transfers.items():
+        realized = realized_transfers.pop(key, None)
+        if realized is None:
+            unmatched_predictions += 1
+            continue
+        entries.append(
+            ResidualEntry(
+                kind=pred.kind,
+                key=pred.key,
+                family=pred.family,
+                device=pred.device,
+                predicted=pred.predicted,
+                realized=realized,
+            )
+        )
+    return CalibrationReport(
+        entries=entries,
+        unmatched_predictions=unmatched_predictions,
+        unmatched_realized=len(realized_ops) + len(realized_transfers),
+        drift=drift,
+        drift_tolerance=drift_tolerance,
+    )

@@ -1,0 +1,774 @@
+"""Search provenance: the decision journal behind DPOS / OS-DPOS.
+
+FastT's pitch over RL placers is that its search is *white-box* — every
+placement comes out of an inspectable heuristic.  This module makes that
+inspectable in practice: with ``Observability(provenance=True)`` the
+engines journal every decision they take —
+
+* **DPOS** records, per op, the chosen device, the reason
+  (``colocated`` / ``critical-path`` / ``min-eft`` /
+  ``memory-overflow``), the rank that prioritized it, and every
+  alternative device considered with its score (EFT for min-EFT ops,
+  average critical-path time for CP devices);
+* **OS-DPOS** records, per examined critical-path op, every split
+  candidate with its verdict — ``accepted`` / ``rejected`` (simulated
+  makespan did not beat the incumbent) / ``pruned`` (the lower bound
+  proved it hopeless without a DPOS rerun) / ``infeasible`` (the
+  rewrite itself failed) — plus the makespan or bound that justified it.
+
+The journal persists alongside StepTraces with versioned save/load and
+answers "why is op X on device Y?" through
+:meth:`ProvenanceJournal.explain`, surfaced as
+``OptimizeResult.explain_placement("op")`` and the CLI::
+
+    python -m repro.obs.provenance <trace-dir> --op <name>
+
+The default is a shared no-op recorder (``repro.obs.NULL_PROVENANCE``),
+so un-observed runs pay nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Journal file-format version; bump on incompatible changes.
+PROVENANCE_SCHEMA_VERSION = 1
+
+
+class ProvenanceError(ValueError):
+    """An explain query cannot be answered from the journal."""
+
+
+class ProvenanceSchemaError(ProvenanceError):
+    """A persisted journal has an unknown or malformed schema."""
+
+
+# ----------------------------------------------------------------------
+# Journal records
+# ----------------------------------------------------------------------
+@dataclass
+class PlacementAlternative:
+    """One device DPOS weighed for an op, with the score it compared."""
+
+    device: str
+    #: The number the selection compared: EFT for min-EFT placement,
+    #: average CP-op time for critical-path device selection.
+    score: Optional[float] = None
+    #: Earliest start (min-EFT path only).
+    start: Optional[float] = None
+    feasible: bool = True
+    chosen: bool = False
+    note: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "PlacementAlternative":
+        return cls(
+            device=str(data["device"]),
+            score=None if data.get("score") is None else float(data["score"]),  # type: ignore[arg-type]
+            start=None if data.get("start") is None else float(data["start"]),  # type: ignore[arg-type]
+            feasible=bool(data.get("feasible", True)),
+            chosen=bool(data.get("chosen", False)),
+            note=str(data.get("note", "")),
+        )
+
+
+@dataclass
+class PlacementDecision:
+    """Why one op landed on one device in one DPOS schedule."""
+
+    op_name: str
+    device: str
+    #: ``colocated`` | ``critical-path`` | ``min-eft`` | ``memory-overflow``
+    reason: str
+    start: float
+    finish: float
+    #: Upward rank that prioritized the op in the placement sequence.
+    rank: Optional[float] = None
+    on_critical_path: bool = False
+    alternatives: List[PlacementAlternative] = field(default_factory=list)
+
+    @property
+    def predicted_time(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def chosen_alternative(self) -> Optional[PlacementAlternative]:
+        for alt in self.alternatives:
+            if alt.chosen:
+                return alt
+        return None
+
+    def to_json(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["alternatives"] = [a.to_json() for a in self.alternatives]
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "PlacementDecision":
+        return cls(
+            op_name=str(data["op_name"]),
+            device=str(data["device"]),
+            reason=str(data["reason"]),
+            start=float(data["start"]),  # type: ignore[arg-type]
+            finish=float(data["finish"]),  # type: ignore[arg-type]
+            rank=None if data.get("rank") is None else float(data["rank"]),  # type: ignore[arg-type]
+            on_critical_path=bool(data.get("on_critical_path", False)),
+            alternatives=[
+                PlacementAlternative.from_json(a)
+                for a in data.get("alternatives", [])  # type: ignore[union-attr]
+            ],
+        )
+
+
+@dataclass
+class SplitCandidate:
+    """One (dimension, split count) OS-DPOS tried for one op."""
+
+    dim: str
+    num_splits: int
+    #: ``accepted`` | ``rejected`` | ``pruned`` | ``infeasible``
+    verdict: str
+    #: Simulated DPOS finish time (evaluated candidates only).
+    makespan: Optional[float] = None
+    #: The placement-independent bound that pruned it (pruned only).
+    lower_bound: Optional[float] = None
+    #: The finish time the bound had to beat (pruned only).
+    threshold: Optional[float] = None
+
+    def to_json(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "SplitCandidate":
+        def _opt(key: str) -> Optional[float]:
+            return None if data.get(key) is None else float(data[key])  # type: ignore[arg-type]
+
+        return cls(
+            dim=str(data["dim"]),
+            num_splits=int(data["num_splits"]),  # type: ignore[arg-type]
+            verdict=str(data["verdict"]),
+            makespan=_opt("makespan"),
+            lower_bound=_opt("lower_bound"),
+            threshold=_opt("threshold"),
+        )
+
+    def describe(self) -> str:
+        label = f"dim={self.dim} x{self.num_splits}"
+        if self.verdict == "pruned":
+            detail = ""
+            if self.lower_bound is not None and self.threshold is not None:
+                detail = (
+                    f" (bound {self.lower_bound:.6g}s >= "
+                    f"incumbent {self.threshold:.6g}s)"
+                )
+            return f"{label}: pruned by lower bound{detail}"
+        if self.verdict == "infeasible":
+            return f"{label}: infeasible (rewrite failed)"
+        detail = "" if self.makespan is None else f" -> makespan {self.makespan:.6g}s"
+        return f"{label}: {self.verdict}{detail}"
+
+
+@dataclass
+class OpRound:
+    """OS-DPOS examining one critical-path op's split candidates."""
+
+    op_name: str
+    #: ``committed`` | ``rejected`` | ``no-candidates`` | ``examined``
+    verdict: str = "examined"
+    #: Finish time a candidate had to beat when this round started.
+    incumbent: Optional[float] = None
+    #: Best simulated makespan among evaluated candidates.
+    best_makespan: Optional[float] = None
+    #: The committed (dim, num_splits), when ``verdict == "committed"``.
+    accepted: Optional[Tuple[str, int]] = None
+    #: Sub-op names the committed split created.
+    sub_ops: List[str] = field(default_factory=list)
+    candidates: List[SplitCandidate] = field(default_factory=list)
+
+    # -- builder API used by the engines (no-ops on the null recorder) --
+    def candidate(
+        self,
+        dim: str,
+        num_splits: int,
+        verdict: str,
+        makespan: Optional[float] = None,
+        lower_bound: Optional[float] = None,
+        threshold: Optional[float] = None,
+    ) -> None:
+        self.candidates.append(
+            SplitCandidate(
+                dim=dim,
+                num_splits=num_splits,
+                verdict=verdict,
+                makespan=makespan,
+                lower_bound=lower_bound,
+                threshold=threshold,
+            )
+        )
+
+    def accept(
+        self,
+        dim: str,
+        num_splits: int,
+        sub_ops: Sequence[str],
+        makespan: Optional[float] = None,
+    ) -> None:
+        self.verdict = "committed"
+        self.accepted = (dim, num_splits)
+        self.sub_ops = list(sub_ops)
+        self.best_makespan = makespan
+        for cand in self.candidates:
+            if cand.dim == dim and cand.num_splits == num_splits:
+                cand.verdict = "accepted"
+                break
+
+    def reject(self, best_makespan: Optional[float] = None) -> None:
+        self.verdict = "rejected"
+        self.best_makespan = best_makespan
+
+    def no_candidates(self) -> None:
+        self.verdict = "no-candidates"
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "op_name": self.op_name,
+            "verdict": self.verdict,
+            "incumbent": self.incumbent,
+            "best_makespan": self.best_makespan,
+            "accepted": list(self.accepted) if self.accepted else None,
+            "sub_ops": list(self.sub_ops),
+            "candidates": [c.to_json() for c in self.candidates],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "OpRound":
+        accepted = data.get("accepted")
+        return cls(
+            op_name=str(data["op_name"]),
+            verdict=str(data.get("verdict", "examined")),
+            incumbent=(
+                None if data.get("incumbent") is None
+                else float(data["incumbent"])  # type: ignore[arg-type]
+            ),
+            best_makespan=(
+                None if data.get("best_makespan") is None
+                else float(data["best_makespan"])  # type: ignore[arg-type]
+            ),
+            accepted=(
+                None if accepted is None
+                else (str(accepted[0]), int(accepted[1]))  # type: ignore[index]
+            ),
+            sub_ops=[str(s) for s in data.get("sub_ops", [])],  # type: ignore[union-attr]
+            candidates=[
+                SplitCandidate.from_json(c)
+                for c in data.get("candidates", [])  # type: ignore[union-attr]
+            ],
+        )
+
+    def describe(self) -> str:
+        head = f"round {self.op_name}: {self.verdict}"
+        if self.verdict == "committed" and self.accepted is not None:
+            head += f" split dim={self.accepted[0]} x{self.accepted[1]}"
+            if self.best_makespan is not None and self.incumbent is not None:
+                head += (
+                    f" (makespan {self.best_makespan:.6g}s"
+                    f" < incumbent {self.incumbent:.6g}s)"
+                )
+        elif self.verdict == "rejected":
+            if self.best_makespan is not None and self.incumbent is not None:
+                head += (
+                    f" (best candidate {self.best_makespan:.6g}s"
+                    f" >= incumbent {self.incumbent:.6g}s)"
+                )
+        return head
+
+
+@dataclass
+class SearchRecord:
+    """One DPOS / OS-DPOS invocation's full decision record."""
+
+    search_id: int
+    graph: str
+    #: ``dpos`` (plain placement) | ``incremental`` | ``naive``
+    mode: str
+    #: Critical-path ops the split search examined, in walk order.
+    candidate_ops: List[str] = field(default_factory=list)
+    initial_finish: Optional[float] = None
+    final_finish: Optional[float] = None
+    rounds: List[OpRound] = field(default_factory=list)
+    #: Final per-op placement decisions of the winning schedule.
+    decisions: Dict[str, PlacementDecision] = field(default_factory=dict)
+
+    enabled = True
+
+    # -- builder API used by the engines --------------------------------
+    def record_initial(self, finish_time: float) -> None:
+        self.initial_finish = finish_time
+
+    def set_candidate_ops(self, ops: Sequence[str]) -> None:
+        self.candidate_ops = list(ops)
+
+    def begin_op(
+        self, op_name: str, incumbent: Optional[float] = None
+    ) -> OpRound:
+        rnd = OpRound(op_name=op_name, incumbent=incumbent)
+        self.rounds.append(rnd)
+        return rnd
+
+    def finalize(self, result: object) -> None:
+        """Adopt the winning DPOS result's finish time and decisions."""
+        self.final_finish = getattr(result, "finish_time", None)
+        decisions = getattr(result, "decisions", None)
+        if decisions:
+            self.decisions = dict(decisions)
+
+    # ------------------------------------------------------------------
+    @property
+    def committed_splits(self) -> List[OpRound]:
+        return [r for r in self.rounds if r.verdict == "committed"]
+
+    def parent_of(self, op_name: str) -> Optional[str]:
+        """The op whose committed split created ``op_name``, if any."""
+        for rnd in self.rounds:
+            if op_name in rnd.sub_ops:
+                return rnd.op_name
+        return None
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "search_id": self.search_id,
+            "graph": self.graph,
+            "mode": self.mode,
+            "candidate_ops": list(self.candidate_ops),
+            "initial_finish": self.initial_finish,
+            "final_finish": self.final_finish,
+            "rounds": [r.to_json() for r in self.rounds],
+            "decisions": {
+                name: d.to_json() for name, d in sorted(self.decisions.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "SearchRecord":
+        return cls(
+            search_id=int(data["search_id"]),  # type: ignore[arg-type]
+            graph=str(data.get("graph", "")),
+            mode=str(data.get("mode", "")),
+            candidate_ops=[str(o) for o in data.get("candidate_ops", [])],  # type: ignore[union-attr]
+            initial_finish=(
+                None if data.get("initial_finish") is None
+                else float(data["initial_finish"])  # type: ignore[arg-type]
+            ),
+            final_finish=(
+                None if data.get("final_finish") is None
+                else float(data["final_finish"])  # type: ignore[arg-type]
+            ),
+            rounds=[
+                OpRound.from_json(r) for r in data.get("rounds", [])  # type: ignore[union-attr]
+            ],
+            decisions={
+                str(name): PlacementDecision.from_json(d)
+                for name, d in dict(data.get("decisions", {})).items()  # type: ignore[arg-type]
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# Explain
+# ----------------------------------------------------------------------
+@dataclass
+class OpExplanation:
+    """The full decision chain for one (sub-)op, ready to render."""
+
+    op_name: str
+    search_id: int
+    #: Final placement decision; ``None`` when the op no longer exists in
+    #: the deployed graph (it was consumed by a committed split).
+    decision: Optional[PlacementDecision]
+    #: The split rounds that shaped this op: its own examination plus the
+    #: rounds of every ancestor whose split produced it.
+    rounds: List[OpRound] = field(default_factory=list)
+    #: The op whose committed split created this op, if any.
+    parent: Optional[str] = None
+    #: Sub-ops a committed split of *this* op created, if any.
+    sub_ops: List[str] = field(default_factory=list)
+    #: False when the journal entry's search did not produce the final
+    #: deployed strategy (e.g. the initial strategy won the measurement).
+    matches_strategy: bool = True
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "op_name": self.op_name,
+            "search_id": self.search_id,
+            "decision": None if self.decision is None else self.decision.to_json(),
+            "rounds": [r.to_json() for r in self.rounds],
+            "parent": self.parent,
+            "sub_ops": list(self.sub_ops),
+            "matches_strategy": self.matches_strategy,
+        }
+
+    def render(self) -> str:
+        lines: List[str] = []
+        d = self.decision
+        if d is None:
+            lines.append(
+                f"op {self.op_name}: not in the deployed graph "
+                f"(consumed by a committed split)"
+            )
+        else:
+            lines.append(
+                f"op {self.op_name} -> {d.device} [{d.reason}] "
+                f"start {d.start:.6g}s run {d.predicted_time:.6g}s"
+                + ("" if d.rank is None else f" rank {d.rank:.6g}")
+                + (" (on critical path)" if d.on_critical_path else "")
+            )
+            if d.alternatives:
+                lines.append("  alternatives considered:")
+                for alt in d.alternatives:
+                    mark = "*" if alt.chosen else " "
+                    score = "-" if alt.score is None else f"{alt.score:.6g}s"
+                    note = f"  [{alt.note}]" if alt.note else ""
+                    infeasible = "" if alt.feasible else "  (infeasible)"
+                    lines.append(
+                        f"  {mark} {alt.device:<12} score {score}{infeasible}{note}"
+                    )
+        if self.parent is not None:
+            lines.append(f"  created by splitting {self.parent}")
+        if self.sub_ops:
+            lines.append("  split into: " + ", ".join(self.sub_ops))
+        if self.rounds:
+            lines.append("  split verdict chain:")
+            for rnd in self.rounds:
+                lines.append(f"    {rnd.describe()}")
+                for cand in rnd.candidates:
+                    lines.append(f"      - {cand.describe()}")
+        if not self.matches_strategy:
+            lines.append(
+                "  note: journal entry from a search whose strategy was not "
+                "the one finally deployed"
+            )
+        return "\n".join(lines)
+
+
+class ProvenanceJournal:
+    """Ordered list of search records with versioned save/load."""
+
+    def __init__(self, searches: Optional[List[SearchRecord]] = None) -> None:
+        self.searches: List[SearchRecord] = list(searches or [])
+
+    # ------------------------------------------------------------------
+    def begin_search(self, graph: str, mode: str) -> SearchRecord:
+        record = SearchRecord(
+            search_id=len(self.searches), graph=graph, mode=mode
+        )
+        self.searches.append(record)
+        return record
+
+    def ops(self) -> List[str]:
+        """Every op name any search decided a placement for."""
+        names = set()
+        for search in self.searches:
+            names.update(search.decisions)
+            for rnd in search.rounds:
+                names.add(rnd.op_name)
+                names.update(rnd.sub_ops)
+        return sorted(names)
+
+    # ------------------------------------------------------------------
+    def _search_matching(
+        self, placement: Optional[Dict[str, str]]
+    ) -> Optional[SearchRecord]:
+        """Newest search whose final decisions agree with ``placement``."""
+        if placement is None:
+            return None
+        for search in reversed(self.searches):
+            if not search.decisions:
+                continue
+            if set(search.decisions) != set(placement):
+                continue
+            if all(
+                search.decisions[name].device == dev
+                for name, dev in placement.items()
+            ):
+                return search
+        return None
+
+    def explain(
+        self, op_name: str, placement: Optional[Dict[str, str]] = None
+    ) -> OpExplanation:
+        """Reconstruct the decision chain for one (sub-)op.
+
+        ``placement`` (the deployed strategy's) selects, among all
+        journaled searches, the one that actually produced the deployed
+        strategy.  When none matches (e.g. a profiled alternative such
+        as plain data parallelism won the measurement, so the deployed
+        strategy never went through the search), the best search still
+        mentioning the op is used — preferring one that deployed it,
+        then one that committed a split of it — and the explanation is
+        flagged ``matches_strategy=False``.
+        """
+        matched = self._search_matching(placement)
+        search = matched
+        if search is None or not self._mentions(search, op_name):
+            search = self._fallback_search(op_name)
+        if search is None:
+            raise ProvenanceError(
+                f"op {op_name!r} appears in no journaled search; "
+                f"known ops: {', '.join(self.ops()[:10]) or '(none)'}"
+            )
+
+        rounds: List[OpRound] = []
+        parent: Optional[str] = search.parent_of(op_name)
+        # Ancestor chain first (a sub-op of a sub-op walks all the way up).
+        chain: List[str] = []
+        cursor: Optional[str] = parent
+        seen = {op_name}
+        while cursor is not None and cursor not in seen:
+            chain.append(cursor)
+            seen.add(cursor)
+            cursor = search.parent_of(cursor)
+        for ancestor in reversed(chain):
+            rounds.extend(r for r in search.rounds if r.op_name == ancestor)
+        own = [r for r in search.rounds if r.op_name == op_name]
+        rounds.extend(own)
+        sub_ops = [s for r in own if r.verdict == "committed" for s in r.sub_ops]
+        return OpExplanation(
+            op_name=op_name,
+            search_id=search.search_id,
+            decision=search.decisions.get(op_name),
+            rounds=rounds,
+            parent=parent,
+            sub_ops=sub_ops,
+            matches_strategy=(placement is None or search is matched),
+        )
+
+    def _fallback_search(self, op_name: str) -> Optional[SearchRecord]:
+        """Newest search with a decision for the op; else one that
+        committed a split of it; else any that merely examined it."""
+        committed = examined = None
+        for candidate in reversed(self.searches):
+            if op_name in candidate.decisions:
+                return candidate
+            for rnd in candidate.rounds:
+                if rnd.op_name != op_name and op_name not in rnd.sub_ops:
+                    continue
+                if rnd.verdict == "committed" and committed is None:
+                    committed = candidate
+                elif examined is None:
+                    examined = candidate
+        return committed or examined
+
+    @staticmethod
+    def _mentions(search: SearchRecord, op_name: str) -> bool:
+        if op_name in search.decisions:
+            return True
+        return any(
+            rnd.op_name == op_name or op_name in rnd.sub_ops
+            for rnd in search.rounds
+        )
+
+    def cite(self, op_name: str) -> Optional[str]:
+        """One-line journal citation for strategy diffs; None if unknown."""
+        try:
+            exp = self.explain(op_name)
+        except ProvenanceError:
+            return None
+        d = exp.decision
+        if d is None:
+            committed = [r for r in exp.rounds if r.op_name == op_name]
+            if committed and committed[-1].verdict == "committed":
+                return f"{op_name}: {committed[-1].describe()}"
+            return f"{op_name}: consumed by a committed split"
+        line = f"{op_name} -> {d.device} [{d.reason}]"
+        chosen = d.chosen_alternative
+        others = sorted(
+            (a.score for a in d.alternatives if not a.chosen and a.score is not None),
+        )
+        if chosen is not None and chosen.score is not None and others:
+            line += f" (score {chosen.score:.6g}s vs next {others[0]:.6g}s)"
+        return line
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema": PROVENANCE_SCHEMA_VERSION,
+            "searches": [s.to_json() for s in self.searches],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ProvenanceJournal":
+        if not isinstance(data, dict) or "schema" not in data:
+            raise ProvenanceSchemaError(
+                "not a provenance journal (missing 'schema')"
+            )
+        schema = data["schema"]
+        if schema != PROVENANCE_SCHEMA_VERSION:
+            raise ProvenanceSchemaError(
+                f"unsupported provenance schema {schema!r}; "
+                f"this build reads version {PROVENANCE_SCHEMA_VERSION}"
+            )
+        try:
+            searches = [
+                SearchRecord.from_json(s) for s in data.get("searches", [])  # type: ignore[union-attr]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProvenanceSchemaError(f"malformed journal: {exc}") from exc
+        return cls(searches)
+
+    def save(self, path: str) -> str:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=1)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "ProvenanceJournal":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(json.load(fh))
+
+
+class ProvenanceRecorder:
+    """The live ``obs.provenance`` hook: journals every search."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.journal = ProvenanceJournal()
+
+    def begin_search(self, graph: str, mode: str) -> SearchRecord:
+        return self.journal.begin_search(graph, mode)
+
+    def record_dpos(self, graph: str, result: object) -> None:
+        """Journal a plain DPOS run (splitting disabled)."""
+        search = self.journal.begin_search(graph, "dpos")
+        search.record_initial(getattr(result, "finish_time", 0.0))
+        search.finalize(result)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _journal_paths(paths: Sequence[str]) -> List[str]:
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            found.extend(
+                sorted(glob.glob(os.path.join(path, "*.provenance.json")))
+            )
+        else:
+            found.append(path)
+    return found
+
+
+def _summarize(path: str, journal: ProvenanceJournal) -> str:
+    lines = [f"{path}: {len(journal.searches)} search(es)"]
+    for search in journal.searches:
+        committed = len(search.committed_splits)
+        lines.append(
+            f"  #{search.search_id} {search.graph} [{search.mode}] "
+            f"{len(search.decisions)} decision(s), "
+            f"{len(search.rounds)} round(s), {committed} split(s) committed"
+            + (
+                ""
+                if search.initial_finish is None or search.final_finish is None
+                else (
+                    f", finish {search.initial_finish:.6g}s"
+                    f" -> {search.final_finish:.6g}s"
+                )
+            )
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.provenance",
+        description="Query search provenance journals (*.provenance.json).",
+    )
+    parser.add_argument(
+        "paths", nargs="+",
+        help="journal files or directories containing *.provenance.json",
+    )
+    parser.add_argument(
+        "--op", help="explain the decision chain of one (sub-)op"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list every journaled op name"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="validate journal schemas; exit non-zero on any failure",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    args = parser.parse_args(argv)
+
+    paths = _journal_paths(args.paths)
+    if not paths:
+        print("no provenance journals found")
+        return 2
+
+    journals: List[Tuple[str, ProvenanceJournal]] = []
+    failures = 0
+    for path in paths:
+        try:
+            journals.append((path, ProvenanceJournal.load(path)))
+        except (OSError, ProvenanceSchemaError, json.JSONDecodeError) as exc:
+            failures += 1
+            print(f"INVALID {path}: {exc}")
+    if args.check:
+        for path, _ in journals:
+            print(f"ok {path}")
+        print(f"{len(journals)} valid, {failures} invalid journal(s)")
+        return 0 if failures == 0 and journals else 2
+    if failures and not journals:
+        return 2
+
+    if args.op:
+        for path, journal in journals:
+            try:
+                explanation = journal.explain(args.op)
+            except ProvenanceError:
+                continue
+            if args.json:
+                print(json.dumps(explanation.to_json(), indent=1))
+            else:
+                print(f"[{path}]")
+                print(explanation.render())
+            return 0
+        print(f"op {args.op!r} not found in any journal")
+        return 2
+
+    if args.list:
+        names = sorted({name for _, j in journals for name in j.ops()})
+        for name in names:
+            print(name)
+        return 0
+
+    for path, journal in journals:
+        print(_summarize(path, journal))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    import sys
+
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Piped into `head` etc.: exit cleanly (CI runs with pipefail).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

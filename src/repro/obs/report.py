@@ -7,10 +7,11 @@ benchmark suite's.  Everything returns strings; the CLI prints them.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Sequence
+from typing import TYPE_CHECKING, List, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .analyze import CriticalPath, GateReport, StepAnalysis, TraceDiff
+    from .calibration import CalibrationReport
 
 
 def _fmt(value: object) -> str:
@@ -172,12 +173,21 @@ def render_diff(diff: "TraceDiff", limit: int = 10) -> str:
                 f"splits: +{len(s.splits_added)} -{len(s.splits_removed)} "
                 f"~{len(s.splits_changed)}"
             )
+            def _cites(name: str) -> List[str]:
+                return [
+                    f"      {line}"
+                    for line in s.citations.get(name, [])
+                ]
+
             for name, dev_a, dev_b in s.moved[:limit]:
                 lines.append(f"  moved {name}: {dev_a} -> {dev_b}")
+                lines.extend(_cites(name))
             for name in s.splits_added[:limit]:
                 lines.append(f"  split added: {name}")
+                lines.extend(_cites(name))
             for name in s.splits_removed[:limit]:
                 lines.append(f"  split removed: {name}")
+                lines.extend(_cites(name))
     attribution = diff.attribution_delta()
     lines.append(
         "critical-path delta (B-A): "
@@ -208,6 +218,93 @@ def render_diff(diff: "TraceDiff", limit: int = 10) -> str:
                  "dur B (ms)", "delta (ms)", "on path"],
                 rows,
                 title="top makespan-delta contributors",
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_search_counters(metrics: Mapping[str, object]) -> str:
+    """One-line account of the split search's candidate verdicts.
+
+    Distinguishes candidates **rejected by simulation** (their DPOS
+    makespan did not beat the incumbent) from candidates **pruned by the
+    lower bound** (discarded without a DPOS rerun).
+    """
+    evaluated = int(metrics.get("search.candidates_evaluated", 0))  # type: ignore[arg-type]
+    committed = int(metrics.get("search.splits_committed", 0))  # type: ignore[arg-type]
+    rejected = int(metrics.get("search.splits_rejected", 0))  # type: ignore[arg-type]
+    pruned = int(metrics.get("search.candidates_pruned", 0))  # type: ignore[arg-type]
+    return (
+        f"search: {evaluated} candidate(s) evaluated, "
+        f"{committed} split(s) committed, "
+        f"{rejected} rejected by simulation, "
+        f"{pruned} pruned by lower bound"
+    )
+
+
+def render_calibration(report: "CalibrationReport", limit: int = 8) -> str:
+    """Cost-model calibration: residual quantiles and worst offenders."""
+    lines = [
+        "=== cost-model calibration ===",
+        (
+            f"{len(report.entries)} prediction(s) joined, "
+            f"{report.unmatched_predictions} prediction(s) unmatched, "
+            f"{report.unmatched_realized} realized record(s) unpredicted"
+        ),
+    ]
+    if report.drift is not None:
+        stable = report.stable
+        verdict = "" if stable is None else (
+            " (stable)" if stable else " (NOT stable)"
+        )
+        tolerance = (
+            ""
+            if report.drift_tolerance is None
+            else f" vs tolerance {_pct(report.drift_tolerance)}"
+        )
+        lines.append(
+            f"cost-model drift at decision time: "
+            f"{_pct(report.drift)}{tolerance}{verdict}"
+        )
+    families = report.families
+    if families:
+        rows = [
+            [
+                f.kind,
+                f.family,
+                f.count,
+                _pct(f.p50_abs_relative),
+                _pct(f.p90_abs_relative),
+                _pct(f.max_abs_relative),
+            ]
+            for f in families
+        ]
+        lines.append(
+            table(
+                ["kind", "family", "n", "p50 |rel|", "p90 |rel|", "max |rel|"],
+                rows,
+                title="residuals per prediction family (|realized-predicted|/realized)",
+            )
+        )
+    worst = [e for e in report.worst(limit) if e.abs_relative > 0.0]
+    if worst:
+        rows = [
+            [
+                e.kind,
+                e.key,
+                e.device,
+                _ms(e.predicted),
+                _ms(e.realized),
+                _pct(e.abs_relative),
+            ]
+            for e in worst
+        ]
+        lines.append(
+            table(
+                ["kind", "key", "where", "predicted (ms)", "realized (ms)",
+                 "|rel| error"],
+                rows,
+                title="worst offenders",
             )
         )
     return "\n".join(lines)

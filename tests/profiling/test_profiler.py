@@ -1,0 +1,168 @@
+"""Profile -> cost-model ingestion round-trip (``repro.profiling``).
+
+Complements ``test_profiling.py``: these tests close the loop the
+calibration layer depends on — what the profiler feeds into the models
+must reproduce the trace it was fed from — and exercise the
+heterogeneous ``compute_scale`` path (mixed fast/slow GPUs).
+"""
+
+import pytest
+
+from repro.cluster import mixed_server, single_server
+from repro.costmodel import CommunicationCostModel, ComputationCostModel
+from repro.graph import (
+    build_data_parallel_training_graph,
+    data_parallel_placement,
+)
+from repro.hardware import PerfModel
+from repro.profiling import Profiler, StepTrace
+from repro.sim import ExecutionSimulator
+
+from tests.util import build_mlp
+
+
+def _profiler(topo, device_scale=None, noise_sigma=0.0, seed=11):
+    graph, _ = build_data_parallel_training_graph(build_mlp, 2, 32)
+    perf = PerfModel(topo, noise_sigma=noise_sigma, seed=seed)
+    simulator = ExecutionSimulator(graph, topo, perf)
+    computation = ComputationCostModel(device_scale=device_scale)
+    communication = CommunicationCostModel()
+    placement = data_parallel_placement(graph, topo.device_names)
+    return graph, Profiler(simulator, computation, communication), placement
+
+
+class TestRoundTrip:
+    def test_profiled_times_reproduce_the_trace(self, topo2):
+        """Noise-free profile -> model -> the exact trace durations."""
+        graph, profiler, placement = _profiler(topo2)
+        result = profiler.profile(placement, num_steps=2)
+        trace = result.traces[-1]
+        durations = {rec.op_name: rec.duration for rec in trace.op_records}
+        for op in graph.ops:
+            predicted = profiler.computation.time(op, placement[op.name])
+            assert predicted == pytest.approx(durations[op.name], abs=1e-12)
+
+    def test_transfer_regression_reproduces_the_trace(self, topo2):
+        _, profiler, placement = _profiler(topo2)
+        result = profiler.profile(placement, num_steps=2)
+        trace = result.traces[-1]
+        for rec in trace.transfer_records:
+            predicted = profiler.communication.time(
+                rec.src_device, rec.dst_device, rec.num_bytes
+            )
+            assert predicted == pytest.approx(rec.duration, rel=0.05)
+
+    def test_update_models_false_leaves_models_empty(self, topo2):
+        _, profiler, placement = _profiler(topo2)
+        result = profiler.profile(placement, num_steps=1, update_models=False)
+        assert result.traces and result.traces[0].op_records
+        assert profiler.computation.num_entries == 0
+        assert profiler.communication.num_pairs == 0
+
+    def test_serialized_trace_round_trips_into_models(self, topo2, tmp_path):
+        """The disk path: simulate, save, load, then ingest the load."""
+        from repro.profiling import update_cost_models
+
+        graph, profiler, placement = _profiler(topo2)
+        live = profiler.profile(placement, num_steps=1, update_models=False)
+        path = str(tmp_path / "step.json")
+        live.traces[0].save(path)
+        reloaded = StepTrace.load(path)
+        update_cost_models(
+            graph, [reloaded], profiler.computation, profiler.communication
+        )
+        for rec in live.traces[0].op_records:
+            assert profiler.computation.profiled_time(
+                rec.op_name, rec.device
+            ) == pytest.approx(rec.duration)
+
+
+class TestHeterogeneousScales:
+    @pytest.fixture
+    def mixed(self):
+        return mixed_server(1, 1)
+
+    def test_mixed_cluster_reports_unequal_scales(self, mixed):
+        scales = mixed.relative_compute_scales()
+        assert len(set(scales.values())) > 1
+        assert max(scales.values()) == pytest.approx(1.0)
+
+    def test_cross_device_fallback_rescales(self, mixed):
+        """A time profiled on the fast GPU predicts a longer one on the
+        slow GPU, by exactly the relative compute scale."""
+        scales = mixed.relative_compute_scales()
+        fast = max(scales, key=scales.get)
+        slow = min(scales, key=scales.get)
+        graph, profiler, _ = _profiler(mixed, device_scale=scales)
+        placement = {op.name: fast for op in graph.ops}
+        profiler.profile(placement, num_steps=1)
+        ratio = scales[fast] / scales[slow]
+        for op in list(graph.ops)[:10]:
+            on_fast = profiler.computation.time(op, fast)
+            if on_fast <= 0.0:
+                continue
+            assert profiler.computation.time(op, slow) == pytest.approx(
+                on_fast * ratio
+            )
+
+    def test_profiled_slow_device_beats_fallback(self, mixed):
+        """Once the slow GPU is profiled directly, its own key wins."""
+        scales = mixed.relative_compute_scales()
+        graph, profiler, placement = _profiler(mixed, device_scale=scales)
+        profiler.profile(placement, num_steps=2)
+        for op in graph.ops:
+            device = placement[op.name]
+            assert profiler.computation.known(op.name, device)
+            assert profiler.computation.time(op, device) == pytest.approx(
+                profiler.computation.profiled_time(op.name, device)
+            )
+
+    def test_simulated_times_respect_compute_scale(self, mixed):
+        """Ground truth: the same op runs slower on the slow GPU."""
+        scales = mixed.relative_compute_scales()
+        fast = max(scales, key=scales.get)
+        slow = min(scales, key=scales.get)
+        graph, _, _ = _profiler(mixed)
+        perf = PerfModel(mixed)
+        sim = ExecutionSimulator(graph, mixed, perf)
+        fast_trace = sim.run_step({op.name: fast for op in graph.ops})
+        slow_trace = sim.run_step({op.name: slow for op in graph.ops})
+        fast_total = fast_trace.total_compute_time
+        slow_total = slow_trace.total_compute_time
+        assert slow_total > fast_total
+
+
+class TestTraceHelpers:
+    @pytest.fixture
+    def trace(self, topo2):
+        graph, profiler, placement = _profiler(topo2)
+        return profiler.profile(placement, num_steps=1).traces[0]
+
+    def test_device_names_cover_all_records(self, trace, topo2):
+        names = trace.device_names()
+        assert set(topo2.device_names) <= set(names)
+
+    def test_busy_time_partitions(self, trace):
+        busy = trace.compute_time_by_device()
+        assert sum(busy.values()) == pytest.approx(trace.total_compute_time)
+        assert trace.avg_compute_time == pytest.approx(
+            sum(busy.values()) / len(busy)
+        )
+
+    def test_queue_wait_nonnegative(self, trace):
+        assert trace.total_queue_wait >= 0.0
+        for rec in trace.op_records:
+            assert rec.queue_wait >= 0.0
+
+    def test_v2_fields_survive_serialization(self, trace, tmp_path):
+        path = str(tmp_path / "trace.step.json")
+        trace.save(path)
+        loaded = StepTrace.load(path)
+        lives = {r.op_name: r for r in trace.op_records}
+        for rec in loaded.op_records:
+            live = lives[rec.op_name]
+            assert rec.queued_at == live.queued_at
+            assert rec.blocked_by == live.blocked_by
+        for rec, live in zip(loaded.transfer_records, trace.transfer_records):
+            assert rec.channel == live.channel
+            assert rec.producer == live.producer
