@@ -39,6 +39,7 @@ from ..costmodel import (
     CostCache,
 )
 from ..graph import Graph, Operation
+from ..graph.coarsen import CoarsePlan, SuperComputationModel, contract_graph
 from ..graph.rewrite import (
     SplitDecision,
     SplitError,
@@ -80,6 +81,16 @@ class SearchOptions:
             (incremental path only; never changes the strategy).
         workers: Fan surviving candidates out to this many worker
             processes (incremental path only).
+        coarsen: Hierarchical search over a contracted graph
+            (:func:`~repro.graph.contract_graph`).  ``True`` forces it,
+            ``False`` disables it (exact search, byte-identical to the
+            seed), and ``"auto"`` (default) turns it on only for graphs
+            with at least ``coarsen_threshold`` ops — small graphs never
+            change behaviour.
+        coarsen_threshold: Op count at which ``"auto"`` switches to the
+            coarse path.
+        coarsen_target: Approximate number of coarse nodes the
+            contraction aims for.
     """
 
     enable_splitting: bool = True
@@ -88,10 +99,19 @@ class SearchOptions:
     naive: bool = False
     prune: bool = True
     workers: Optional[int] = None
+    coarsen: object = "auto"
+    coarsen_threshold: int = 5000
+    coarsen_target: int = 256
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be a positive integer or None")
+        if self.coarsen not in (True, False, "auto"):
+            raise ValueError('coarsen must be True, False, or "auto"')
+        if self.coarsen_threshold < 1:
+            raise ValueError("coarsen_threshold must be >= 1")
+        if self.coarsen_target < 1:
+            raise ValueError("coarsen_target must be >= 1")
 
 
 _search_options_init = SearchOptions.__init__
@@ -275,6 +295,9 @@ class OSDPOS:
         naive: object = _UNSET,
         prune: object = _UNSET,
         workers: object = _UNSET,
+        coarsen: object = _UNSET,
+        coarsen_threshold: object = _UNSET,
+        coarsen_target: object = _UNSET,
         obs: Optional[Observability] = None,
     ) -> None:
         if dpos is None:
@@ -309,6 +332,12 @@ class OSDPOS:
             prune = base.prune
         if workers is _UNSET:
             workers = base.workers
+        if coarsen is _UNSET:
+            coarsen = base.coarsen
+        if coarsen_threshold is _UNSET:
+            coarsen_threshold = base.coarsen_threshold
+        if coarsen_target is _UNSET:
+            coarsen_target = base.coarsen_target
         if not base.enable_splitting:
             split_counts = []
 
@@ -324,6 +353,11 @@ class OSDPOS:
         if workers is not None and workers < 1:  # type: ignore[operator]
             raise ValueError("workers must be a positive integer or None")
         self.workers = workers
+        if coarsen not in (True, False, "auto"):
+            raise ValueError('coarsen must be True, False, or "auto"')
+        self.coarsen = coarsen
+        self.coarsen_threshold = int(coarsen_threshold)  # type: ignore[call-overload]
+        self.coarsen_target = int(coarsen_target)  # type: ignore[call-overload]
 
     # ------------------------------------------------------------------
     def run(self, graph: Graph) -> OSDPOSResult:
@@ -333,7 +367,15 @@ class OSDPOS:
         copy.  All evaluation modes return identical strategies.
         """
         obs = self.obs
-        mode = "naive" if self.naive else "incremental"
+        use_coarse = (
+            self.coarsen
+            if self.coarsen != "auto"
+            else graph.num_ops >= self.coarsen_threshold
+        )
+        if use_coarse:
+            mode = "coarse"
+        else:
+            mode = "naive" if self.naive else "incremental"
         search = obs.provenance.begin_search(graph=graph.name, mode=mode)
         with obs.tracer.span(
             "search.osdpos",
@@ -344,7 +386,9 @@ class OSDPOS:
                 "mode": mode,
             },
         ):
-            if self.naive:
+            if use_coarse:
+                result = self._run_coarse(graph, search)
+            elif self.naive:
                 result = self._run_naive(graph, search)
             else:
                 result = self._run_incremental(graph, search)
@@ -443,6 +487,222 @@ class OSDPOS:
         if best is None:
             return None
         return (*best, tried)
+
+    # ------------------------------------------------------------------
+    # Coarse path: hierarchical search over a contracted graph
+    # ------------------------------------------------------------------
+    def _coarse_engine(
+        self, plan: CoarsePlan, memo: Dict[Tuple[str, str], float]
+    ) -> DPOS:
+        """A DPOS over the coarse graph, sharing this engine's models.
+
+        Super-ops are priced by :class:`SuperComputationModel` (exact
+        member sums, memoized across re-contractions); communication uses
+        the fine model unchanged because coarse edges carry the fine
+        boundary tensors.
+        """
+        engine = DPOS(
+            self.dpos.topology,
+            SuperComputationModel(self.dpos.computation, plan, memo),
+            self.dpos.communication,
+            obs=self.obs,
+        )
+        engine.capacities = dict(self.dpos.capacities)
+        engine.insertion_scheduling = self.dpos.insertion_scheduling
+        return engine
+
+    def _run_coarse(self, graph: Graph, search) -> OSDPOSResult:
+        """Hierarchical OS-DPOS: place coarse, refine splits fine.
+
+        Placement and ordering run over the contracted graph (the cost
+        aggregates are exact, so the coarse makespan estimate is the fine
+        serial-member schedule's); split candidates are fine ops drawn
+        from the members of coarse critical-path nodes, each evaluated by
+        re-contracting the mutated fine graph.  The final coarse
+        strategy expands losslessly to a complete fine placement/order.
+        """
+        working = graph.copy()
+        memo: Dict[Tuple[str, str], float] = {}
+        plan = contract_graph(working, target=self.coarsen_target)
+        engine = self._coarse_engine(plan, memo)
+        best = engine.run(plan.coarse)
+        search.record_initial(best.finish_time)
+        split_list: List[SplitDecision] = []
+        evaluated = 0
+        rejected = 0
+
+        if self.split_counts:
+            cp_ops = self._coarse_candidate_ops(plan, best, engine)
+            if self.max_candidate_ops is not None:
+                cp_ops = cp_ops[: self.max_candidate_ops]
+            search.set_candidate_ops(cp_ops)
+            tracer = self.obs.tracer
+            for op_name in cp_ops:
+                if op_name not in working:
+                    continue  # consumed by an earlier committed split
+                op = working.get_op(op_name)
+                if not op.is_splittable:
+                    continue
+                rnd = search.begin_op(op_name, incumbent=best.finish_time)
+                with tracer.span(
+                    f"evaluate:{op_name}", cat="search.candidates"
+                ):
+                    outcome = self._best_coarse_split(working, op, memo, rnd)
+                if outcome is None:
+                    rnd.no_candidates()
+                    continue
+                decision, candidate_result, tried = outcome
+                evaluated += tried
+                if candidate_result.finish_time < best.finish_time:
+                    # Re-apply the winner: the transaction name counters
+                    # were restored by undo, so the sub-ops come back
+                    # under the exact names the evaluation saw and the
+                    # re-contraction reproduces the evaluated coarse
+                    # graph verbatim.
+                    txn = SplitTransaction(
+                        working, op, decision.dim, decision.num_splits
+                    )
+                    txn.apply()
+                    rnd.accept(
+                        decision.dim, decision.num_splits,
+                        sub_ops=[o.name for o in txn.sub_ops],
+                        makespan=candidate_result.finish_time,
+                    )
+                    txn.commit()
+                    split_list.append(decision)
+                    best = candidate_result
+                    plan = contract_graph(working, target=self.coarsen_target)
+                    tracer.instant(
+                        f"commit-split:{op_name}",
+                        cat="search",
+                        args={
+                            "dim": decision.dim,
+                            "num_splits": decision.num_splits,
+                            "finish_time": candidate_result.finish_time,
+                        },
+                    )
+                else:
+                    rnd.reject(best_makespan=candidate_result.finish_time)
+                    rejected += 1
+                    break  # first non-improving CP op stops the search
+
+        search.set_super_ops(plan.super_ops)
+        fine_result = self._expand_result(plan, best, split_list)
+        return self._package(
+            working, fine_result, split_list, evaluated, rejected, 0,
+            search=search,
+        )
+
+    def _best_coarse_split(
+        self,
+        working: Graph,
+        op: Operation,
+        memo: Dict[Tuple[str, str], float],
+        rnd,
+    ) -> Optional[Tuple[SplitDecision, DPOSResult, int]]:
+        """Evaluate every (dim, count) of one fine op on the coarse graph.
+
+        Each candidate is applied transactionally to the fine working
+        graph, re-contracted, scheduled coarse, and undone.
+        """
+        best: Optional[Tuple[SplitDecision, DPOSResult]] = None
+        tried = 0
+        for dim, count in itertools.product(
+            sorted(op.split_dims), self.split_counts
+        ):
+            txn = SplitTransaction(working, op, dim, count)
+            try:
+                txn.apply()
+            except SplitError:
+                rnd.candidate(dim, count, "infeasible")
+                continue  # extent too small for this count, etc.
+            tried += 1
+            plan = contract_graph(working, target=self.coarsen_target)
+            result = self._coarse_engine(plan, memo).run(plan.coarse)
+            rnd.candidate(dim, count, "rejected", makespan=result.finish_time)
+            txn.undo()
+            if best is None or result.finish_time < best[1].finish_time:
+                best = (txn.decision, result)
+        if best is None:
+            return None
+        return (*best, tried)
+
+    def _coarse_candidate_ops(
+        self, plan: CoarsePlan, result: DPOSResult, engine: DPOS
+    ) -> List[str]:
+        """Fine split candidates from the coarse critical path.
+
+        The coarse CP is computed under the committed coarse placement
+        (same recipe as the flat search); its nodes then expand to their
+        fine members, ranked by computation time on the device the
+        member inherits.
+        """
+        coarse_cp = self._placement_critical_path(
+            plan.coarse, result, engine=engine
+        )
+        placement = result.strategy.placement
+        computation = self.dpos.computation
+        pairs: List[Tuple[str, float]] = []
+        for coarse_name in coarse_cp:
+            dev = placement[coarse_name]
+            members = plan.member_ops.get(coarse_name)
+            if members is None:
+                members = [plan.fine.get_op(coarse_name)]
+            for member in members:
+                weight = computation.time(member, dev)
+                if weight > 0.0:
+                    pairs.append((member.name, weight))
+        return [name for name, _ in sorted(pairs, key=lambda p: -p[1])]
+
+    def _expand_result(
+        self,
+        plan: CoarsePlan,
+        coarse: DPOSResult,
+        split_list: List[SplitDecision],
+    ) -> DPOSResult:
+        """Lossless expansion of a coarse schedule to the fine graph.
+
+        Members inherit their super-op's device; the fine order expands
+        each coarse slot into its members' fine topological order (a
+        valid fine topological order).  Times/ranks are the coarse
+        aggregates each member belongs to; ``decisions`` stay keyed by
+        coarse node so provenance can report the super-op that absorbed
+        an op (see ``SearchRecord.super_ops``).
+        """
+        placement = plan.expand_placement(coarse.strategy.placement)
+        order = plan.expand_order(coarse.strategy.order)
+        start_times: Dict[str, float] = {}
+        finish_times: Dict[str, float] = {}
+        ranks: Dict[str, float] = {}
+        for coarse_name, member_names in plan.members.items():
+            start = coarse.start_times[coarse_name]
+            finish = coarse.finish_times[coarse_name]
+            rank = coarse.ranks[coarse_name]
+            for member in member_names:
+                start_times[member] = start
+                finish_times[member] = finish
+                ranks[member] = rank
+        critical = [
+            member
+            for coarse_name in coarse.critical_path
+            for member in plan.members[coarse_name]
+        ]
+        strategy = Strategy(
+            placement=placement,
+            order=order,
+            split_list=split_list,
+            estimated_time=coarse.finish_time,
+            label="os-dpos" if split_list else "dpos",
+        )
+        return DPOSResult(
+            strategy=strategy,
+            finish_time=coarse.finish_time,
+            start_times=start_times,
+            finish_times=finish_times,
+            critical_path=critical,
+            ranks=ranks,
+            decisions=coarse.decisions,
+        )
 
     # ------------------------------------------------------------------
     # Incremental path: one working graph, transactional candidates
@@ -740,14 +1000,18 @@ class OSDPOS:
         graph: Graph,
         result: DPOSResult,
         cache: Optional[CostCache] = None,
+        engine: Optional[DPOS] = None,
     ) -> List[str]:
         """Critical path under the committed placement (Alg. 2 lines 4-5).
 
         Ranks are recomputed with the *assigned-device* computation time
         and the *assigned-pair* communication time, then the path is
         sorted by decreasing computation time on the assigned device.
+        ``engine`` overrides whose cost models are consulted (the coarse
+        path passes its super-op-aware DPOS).
         """
         placement = result.strategy.placement
+        dpos = engine if engine is not None else self.dpos
 
         if cache is not None:
             def weight(op: Operation) -> float:
@@ -767,8 +1031,8 @@ class OSDPOS:
             )
             path = critical_path(graph, ranks, successors=cache.successors)
         else:
-            computation = self.dpos.computation
-            communication = self.dpos.communication
+            computation = dpos.computation
+            communication = dpos.communication
 
             def weight(op: Operation) -> float:
                 return computation.time(op, placement[op.name])

@@ -24,6 +24,11 @@ from .data_parallel import (
     replica_index_of,
     replica_prefix,
 )
+from .coarsen import (
+    CoarsePlan,
+    SuperComputationModel,
+    contract_graph,
+)
 from .rewrite import (
     SplitDecision,
     SplitError,
@@ -46,6 +51,7 @@ from .op_library import split_sizes
 from .tensor import DTYPE_SIZES, ShapeError, Tensor
 
 __all__ = [
+    "CoarsePlan",
     "DTYPE_SIZES",
     "Graph",
     "GraphError",
@@ -54,9 +60,11 @@ __all__ = [
     "SplitDecision",
     "SplitError",
     "SplitTransaction",
+    "SuperComputationModel",
     "apply_split_list",
     "build_data_parallel_training_graph",
     "build_single_device_training_graph",
+    "contract_graph",
     "data_parallel_placement",
     "prune_dangling",
     "replica_index_of",

@@ -35,9 +35,19 @@ class Graph:
         # tensor name -> list of (consumer op, input index)
         self._consumers: Dict[str, List[Tuple[Operation, int]]] = {}
         self._name_counter = 0
+        # Monotone mutation counter: bumped by every structural change
+        # (including rollbacks, which also mutate).  Equal versions imply
+        # identical structure, so per-graph caches — e.g. the simulator's
+        # execution plan — key on it instead of hashing the whole graph.
+        self._version = 0
         # Open mutation journal; None outside a transaction.
         self._txn: Optional[List[tuple]] = None
         self._txn_name_counter = 0
+
+    @property
+    def version(self) -> int:
+        """Structural mutation counter (see ``__init__``)."""
+        return self._version
 
     # ------------------------------------------------------------------
     # Construction
@@ -81,6 +91,7 @@ class Graph:
             self._tensors[t.name] = t
             self._consumers[t.name] = []
         self._ops[name] = op
+        self._version += 1
         for idx, t in enumerate(inputs):
             self._consumers[t.name].append((op, idx))
         if self._txn is not None:
@@ -261,6 +272,7 @@ class Graph:
         ]
         op.inputs[index] = new_tensor
         self._consumers[new_tensor.name].append((op, index))
+        self._version += 1
 
     def remove_op(self, op: Operation) -> None:
         """Remove ``op``; its outputs must be unconsumed."""
@@ -286,6 +298,7 @@ class Graph:
             del self._tensors[t.name]
             del self._consumers[t.name]
         del self._ops[op.name]
+        self._version += 1
 
     def copy(self, name: Optional[str] = None) -> "Graph":
         """Structural deep copy (new Operation/Tensor objects, same names)."""
@@ -374,6 +387,7 @@ class Graph:
             raise GraphError("no open transaction to roll back")
         entries, self._txn = self._txn, None
         touched = self._txn_touched(entries)
+        self._version += 1
         # Restore the name counter so a rolled-back rewrite, re-applied to
         # the restored graph, generates exactly the same op names.
         self._name_counter = self._txn_name_counter

@@ -18,7 +18,7 @@ so the profiler has something to average over.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +41,10 @@ DEFAULT_EFFICIENCY: Dict[str, float] = {
     "EmbeddingGrad": 0.10,
 }
 _DEFAULT_EFF = 0.25  # everything else (elementwise is bandwidth-bound anyway)
+
+#: Zero-FLOP op types whose memory traffic is never charged: feeds and
+#: parameter reads are resident, so only the launch overhead remains.
+_RESIDENT_TYPES = ("Placeholder", "Variable", "Const", "NoOp")
 
 
 @dataclass
@@ -102,14 +106,72 @@ class PerfModel:
         traffic = op.bytes_accessed / (
             spec.memory_bandwidth * device.compute_scale
         )
-        if op.flops == 0.0 and op.op_type in ("Placeholder", "Variable", "Const", "NoOp"):
+        if op.flops == 0.0 and op.op_type in _RESIDENT_TYPES:
             # Feeds/parameter reads are resident; charge only the launch.
             traffic = 0.0
         return spec.kernel_launch_overhead + max(compute, traffic)
 
+    def batch_op_cost_inputs(
+        self, ops: "Sequence[Operation]"
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Device-independent per-op arrays for :meth:`batch_base_op_times`.
+
+        Returns ``(flops, width, bytes_accessed, efficiency, traffic_free)``
+        parallel to ``ops``.  Integer FLOP/byte/width values convert to
+        float64 exactly (they are far below 2**53), so feeding these arrays
+        through the vectorized roofline reproduces the scalar path bit for
+        bit.
+        """
+        n = len(ops)
+        flops = np.empty(n, dtype=np.float64)
+        width = np.empty(n, dtype=np.float64)
+        bytes_accessed = np.empty(n, dtype=np.float64)
+        efficiency = np.empty(n, dtype=np.float64)
+        traffic_free = np.zeros(n, dtype=bool)
+        for i, op in enumerate(ops):
+            f = op.flops
+            flops[i] = f
+            out_elems = sum(t.num_elements for t in op.outputs)
+            in_elems = sum(t.num_elements for t in op.inputs)
+            width[i] = max(out_elems, in_elems, 1)
+            bytes_accessed[i] = op.bytes_accessed
+            efficiency[i] = self.efficiency.get(op.op_type, _DEFAULT_EFF)
+            traffic_free[i] = f == 0.0 and op.op_type in _RESIDENT_TYPES
+        return flops, width, bytes_accessed, efficiency, traffic_free
+
     def op_time(self, op: Operation, device: Device) -> float:
         """One observed execution: base time with jitter applied."""
         return self._jitter(self.base_op_time(op, device))
+
+    def batch_base_op_times(
+        self,
+        flops: np.ndarray,
+        width: np.ndarray,
+        bytes_accessed: np.ndarray,
+        efficiency: np.ndarray,
+        traffic_free: np.ndarray,
+        device: Device,
+    ) -> np.ndarray:
+        """Vectorized :meth:`base_op_time` over parallel per-op arrays.
+
+        Every expression mirrors the scalar path's left-to-right operator
+        association, so each element is bit-identical to what
+        :meth:`base_op_time` returns for the same op — the event-heap
+        simulator depends on that to stay trace-exact with the reference
+        runner.  ``traffic_free`` marks resident feeds/parameter reads
+        (zero-FLOP Placeholder/Variable/Const/NoOp) whose traffic term is
+        zeroed; for zero-FLOP ops ``flops / denom`` is ``+0.0``, matching
+        the scalar branch that never computes the roofline at all.
+        """
+        spec = device.spec
+        scale = device.compute_scale
+        utilization = np.maximum(
+            np.minimum(1.0, width / float(self.saturation_elements)), 1e-3
+        )
+        compute = flops / (((efficiency * spec.peak_flops) * scale) * utilization)
+        traffic = bytes_accessed / (spec.memory_bandwidth * scale)
+        traffic = np.where(traffic_free, 0.0, traffic)
+        return spec.kernel_launch_overhead + np.maximum(compute, traffic)
 
     def base_transfer_time(self, src: str, dst: str, num_bytes: int) -> float:
         """Noise-free tensor transfer duration between two devices."""
@@ -132,6 +194,15 @@ class PerfModel:
         return self._jitter(base) if base else 0.0
 
     # ------------------------------------------------------------------
+    def jittered(self, value: float) -> float:
+        """Apply one draw of run-to-run jitter to a precomputed base time.
+
+        Exposed so a caller holding batch-computed base times can consume
+        the jitter stream in exactly the per-execution order the scalar
+        ``*_time`` methods would.
+        """
+        return self._jitter(value)
+
     def _jitter(self, value: float) -> float:
         if self.noise_sigma <= 0.0 or value <= 0.0:
             return value

@@ -86,6 +86,9 @@ class _NullSearchRecord:
     def set_candidate_ops(self, *args, **kwargs) -> None:
         return None
 
+    def set_super_ops(self, *args, **kwargs) -> None:
+        return None
+
     def begin_op(self, *args, **kwargs) -> "_NullOpRound":
         return _NULL_OP_ROUND
 

@@ -305,8 +305,13 @@ class SearchRecord:
     initial_finish: Optional[float] = None
     final_finish: Optional[float] = None
     rounds: List[OpRound] = field(default_factory=list)
-    #: Final per-op placement decisions of the winning schedule.
+    #: Final per-op placement decisions of the winning schedule.  Under
+    #: hierarchical (coarsened) search these are keyed by *coarse* op
+    #: name; ``super_ops`` expands them back to fine ops.
     decisions: Dict[str, PlacementDecision] = field(default_factory=dict)
+    #: Super-op name -> member fine-op names, for searches that ran on a
+    #: coarsened graph.  Empty for flat searches.
+    super_ops: Dict[str, List[str]] = field(default_factory=dict)
 
     enabled = True
 
@@ -316,6 +321,12 @@ class SearchRecord:
 
     def set_candidate_ops(self, ops: Sequence[str]) -> None:
         self.candidate_ops = list(ops)
+
+    def set_super_ops(self, super_ops: Dict[str, Sequence[str]]) -> None:
+        """Record the contraction map of a coarsened search."""
+        self.super_ops = {
+            name: list(members) for name, members in super_ops.items()
+        }
 
     def begin_op(
         self, op_name: str, incumbent: Optional[float] = None
@@ -336,6 +347,14 @@ class SearchRecord:
     def committed_splits(self) -> List[OpRound]:
         return [r for r in self.rounds if r.verdict == "committed"]
 
+    def super_of(self, op_name: str) -> Optional[str]:
+        """The super-op that absorbed ``op_name``, if this search
+        coarsened and the op is a (non-trivial) member."""
+        for super_name, members in self.super_ops.items():
+            if op_name in members and op_name != super_name:
+                return super_name
+        return None
+
     def parent_of(self, op_name: str) -> Optional[str]:
         """The op whose committed split created ``op_name``, if any."""
         for rnd in self.rounds:
@@ -354,6 +373,10 @@ class SearchRecord:
             "rounds": [r.to_json() for r in self.rounds],
             "decisions": {
                 name: d.to_json() for name, d in sorted(self.decisions.items())
+            },
+            "super_ops": {
+                name: list(members)
+                for name, members in sorted(self.super_ops.items())
             },
         }
 
@@ -379,6 +402,10 @@ class SearchRecord:
                 str(name): PlacementDecision.from_json(d)
                 for name, d in dict(data.get("decisions", {})).items()  # type: ignore[arg-type]
             },
+            super_ops={
+                str(name): [str(m) for m in members]
+                for name, members in dict(data.get("super_ops", {})).items()  # type: ignore[arg-type]
+            },
         )
 
 
@@ -401,6 +428,11 @@ class OpExplanation:
     parent: Optional[str] = None
     #: Sub-ops a committed split of *this* op created, if any.
     sub_ops: List[str] = field(default_factory=list)
+    #: The super-op this op was absorbed into under a coarsened search;
+    #: ``decision`` is then the super-op's (shared by every member).
+    super_op: Optional[str] = None
+    #: The full member list of ``super_op``.
+    members: List[str] = field(default_factory=list)
     #: False when the journal entry's search did not produce the final
     #: deployed strategy (e.g. the initial strategy won the measurement).
     matches_strategy: bool = True
@@ -413,12 +445,19 @@ class OpExplanation:
             "rounds": [r.to_json() for r in self.rounds],
             "parent": self.parent,
             "sub_ops": list(self.sub_ops),
+            "super_op": self.super_op,
+            "members": list(self.members),
             "matches_strategy": self.matches_strategy,
         }
 
     def render(self) -> str:
         lines: List[str] = []
         d = self.decision
+        if self.super_op is not None:
+            lines.append(
+                f"op {self.op_name}: absorbed into super-op "
+                f"{self.super_op} ({len(self.members)} members)"
+            )
         if d is None:
             lines.append(
                 f"op {self.op_name}: not in the deployed graph "
@@ -441,6 +480,12 @@ class OpExplanation:
                     lines.append(
                         f"  {mark} {alt.device:<12} score {score}{infeasible}{note}"
                     )
+        if self.super_op is not None and self.members:
+            shown = ", ".join(self.members[:8])
+            more = len(self.members) - 8
+            lines.append(
+                "  members: " + shown + (f", ... +{more} more" if more > 0 else "")
+            )
         if self.parent is not None:
             lines.append(f"  created by splitting {self.parent}")
         if self.sub_ops:
@@ -484,6 +529,22 @@ class ProvenanceJournal:
         return sorted(names)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _expanded_devices(search: SearchRecord) -> Dict[str, str]:
+        """Fine op -> device implied by a search's decisions.
+
+        Flat searches map through unchanged; coarsened searches expand
+        each super-op decision to all of its members."""
+        devices: Dict[str, str] = {}
+        for name, decision in search.decisions.items():
+            members = search.super_ops.get(name)
+            if members:
+                for member in members:
+                    devices[member] = decision.device
+            else:
+                devices[name] = decision.device
+        return devices
+
     def _search_matching(
         self, placement: Optional[Dict[str, str]]
     ) -> Optional[SearchRecord]:
@@ -493,10 +554,11 @@ class ProvenanceJournal:
         for search in reversed(self.searches):
             if not search.decisions:
                 continue
-            if set(search.decisions) != set(placement):
+            effective = self._expanded_devices(search)
+            if set(effective) != set(placement):
                 continue
             if all(
-                search.decisions[name].device == dev
+                effective[name] == dev
                 for name, dev in placement.items()
             ):
                 return search
@@ -541,13 +603,25 @@ class ProvenanceJournal:
         own = [r for r in search.rounds if r.op_name == op_name]
         rounds.extend(own)
         sub_ops = [s for r in own if r.verdict == "committed" for s in r.sub_ops]
+        decision = search.decisions.get(op_name)
+        super_name: Optional[str] = None
+        members: List[str] = []
+        if decision is None:
+            # Coarsened search: the op was absorbed into a super-op, so
+            # report the super-op's decision annotated with the members.
+            super_name = search.super_of(op_name)
+            if super_name is not None:
+                decision = search.decisions.get(super_name)
+                members = list(search.super_ops.get(super_name, []))
         return OpExplanation(
             op_name=op_name,
             search_id=search.search_id,
-            decision=search.decisions.get(op_name),
+            decision=decision,
             rounds=rounds,
             parent=parent,
             sub_ops=sub_ops,
+            super_op=super_name,
+            members=members,
             matches_strategy=(placement is None or search is matched),
         )
 
@@ -556,7 +630,10 @@ class ProvenanceJournal:
         committed a split of it; else any that merely examined it."""
         committed = examined = None
         for candidate in reversed(self.searches):
-            if op_name in candidate.decisions:
+            if (
+                op_name in candidate.decisions
+                or candidate.super_of(op_name) is not None
+            ):
                 return candidate
             for rnd in candidate.rounds:
                 if rnd.op_name != op_name and op_name not in rnd.sub_ops:
@@ -570,6 +647,8 @@ class ProvenanceJournal:
     @staticmethod
     def _mentions(search: SearchRecord, op_name: str) -> bool:
         if op_name in search.decisions:
+            return True
+        if search.super_of(op_name) is not None:
             return True
         return any(
             rnd.op_name == op_name or op_name in rnd.sub_ops

@@ -1,31 +1,16 @@
-"""Discrete-event simulation of one training iteration on a GPU cluster.
+"""Reference (seed) implementation of the step simulator.
 
-This is the reproduction's *testbed*: given a training graph, a
-placement, and (optionally) an execution order, it plays out the step —
-per-device serial kernel execution, per-channel serialized tensor
-transfers, compute/communication overlap, ref-counted memory — and
-returns a :class:`~repro.profiling.trace.StepTrace`.
+This module preserves, verbatim, the straightforward per-dispatch
+implementation that :class:`repro.sim.ExecutionSimulator` replaced with
+plan-cached, numpy-batched cost lookups.  It exists for one purpose: the
+equivalence suite replays every model-zoo trace through both simulators
+and asserts bit-identical results, so any drift in the optimized runner
+is caught against this executable specification rather than against
+frozen golden files.
 
-Two scheduling policies mirror the paper's Fig. 2 comparison:
-
-* ``"fifo"`` — TensorFlow's default: the executor pops the ready queue
-  in arrival order.
-* ``"priority"`` — FastT's order enforcement: ready ops run in the order
-  the strategy calculator computed (Sec. 6.1, Order Enforcement).
-
-The executor is organized around a single global event heap: every
-op/transfer completion is one heap entry, and dispatch decisions are
-made inline when an event retires — no per-device or per-channel
-polling.  The per-event work is kept off the Python slow path by a
-:class:`_GraphPlan` built once per graph revision: kernel durations are
-numpy-batched per device up front (bit-identical to the scalar roofline;
-see :meth:`PerfModel.batch_base_op_times`), and route/link/transfer base
-costs are memoized per device pair on the simulator, so a 100k-op graph
-pays array indexing instead of per-dispatch cost-model recomputation.
-The frozen per-dispatch implementation lives in
-:mod:`repro.sim.reference`; the equivalence suite pins this runner
-bit-exact against it (same event times, same jitter-stream draws, same
-trace records).
+Do not optimize this file.  Its value is that it computes every duration
+with the naive per-op / per-transfer cost-model calls whose float
+arithmetic and RNG draw order define the contract.
 """
 
 from __future__ import annotations
@@ -35,8 +20,6 @@ import itertools
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
-
-import numpy as np
 
 from ..cluster import LinkSpec, Topology
 from ..graph import Graph, Operation
@@ -48,17 +31,6 @@ from .memory import MemoryTracker, SimulationOOMError
 FIFO = "fifo"
 PRIORITY = "priority"
 _INF = float("inf")
-
-#: Methods a perf model must expose for the batched fast path.  Test
-#: doubles that only implement ``op_time``/``transfer_time``/``link_time``
-#: fall back to the reference per-dispatch calls (still heap-driven).
-_FAST_PERF_METHODS = (
-    "batch_op_cost_inputs",
-    "batch_base_op_times",
-    "jittered",
-    "base_transfer_time",
-    "base_link_time",
-)
 
 
 class SimulationError(RuntimeError):
@@ -80,45 +52,8 @@ class _Transfer:
     hop: int = 0
 
 
-class _GraphPlan:
-    """Per-graph-revision execution plan shared across simulated steps.
-
-    Snapshots everything about the graph the hot loop would otherwise
-    recompute per step or per dispatch: op order, per-op distinct input
-    tensors (first-occurrence order — it decides ``deps_remaining`` and
-    consumer grouping), and — when the perf model supports batching —
-    the device-independent cost arrays plus lazily materialized
-    per-device base-duration vectors.  Keyed by :attr:`Graph.version`,
-    so any structural mutation (including transaction rollbacks)
-    invalidates the plan.
-    """
-
-    def __init__(self, graph: Graph, perf: Optional[PerfModel]) -> None:
-        self.version = graph.version
-        self.ops: List[Operation] = graph.ops
-        self.op_index: Dict[str, int] = {
-            op.name: i for i, op in enumerate(self.ops)
-        }
-        self.distinct_inputs: List[List] = []
-        for op in self.ops:
-            distinct = {t.name: t for t in op.inputs}
-            self.distinct_inputs.append(list(distinct.values()))
-        self._cost_inputs = (
-            perf.batch_op_cost_inputs(self.ops) if perf is not None else None
-        )
-        self._base_times: Dict[str, np.ndarray] = {}
-
-    def base_times(self, perf: PerfModel, device) -> np.ndarray:
-        """Noise-free durations of every op on ``device`` (memoized)."""
-        arr = self._base_times.get(device.name)
-        if arr is None:
-            arr = perf.batch_base_op_times(*self._cost_inputs, device)
-            self._base_times[device.name] = arr
-        return arr
-
-
-class ExecutionSimulator:
-    """Simulates single training iterations of a placed graph."""
+class ReferenceSimulator:
+    """Seed-identical step simulator (the executable specification)."""
 
     def __init__(
         self,
@@ -134,54 +69,6 @@ class ExecutionSimulator:
         self.perf = perf_model
         self.enforce_memory = enforce_memory
         self.obs = get_obs(obs)
-        self._fast = all(hasattr(perf_model, m) for m in _FAST_PERF_METHODS)
-        self._plan: Optional[_GraphPlan] = None
-        # Topology is immutable, so routed-hop resolution and noise-free
-        # transfer/link base costs are memoized for the simulator's
-        # lifetime (shared by every step and graph revision).
-        self._route_hops: Dict[Tuple[str, str], Tuple[LinkSpec, ...]] = {}
-        self._transfer_base: Dict[Tuple[str, str, int], float] = {}
-        self._link_base: Dict[Tuple[LinkSpec, int], float] = {}
-
-    # ------------------------------------------------------------------
-    def plan(self) -> _GraphPlan:
-        """The execution plan for the graph's current revision."""
-        plan = self._plan
-        if plan is None or plan.version != self.graph.version:
-            plan = _GraphPlan(self.graph, self.perf if self._fast else None)
-            self._plan = plan
-        return plan
-
-    def route_hops(self, src: str, dst: str) -> Tuple[LinkSpec, ...]:
-        """The contended channels between two devices (per-pair memo).
-
-        All-wire routes (no contended channel) still produce one hop —
-        the effective link — so the transfer is traced and pays its
-        route latency; infinite bandwidth makes the queueing harmless.
-        """
-        key = (src, dst)
-        hops = self._route_hops.get(key)
-        if hops is None:
-            route = self.topology.route(src, dst)
-            hops = route.channels or (self.topology.link(src, dst),)
-            self._route_hops[key] = hops
-        return hops
-
-    def _transfer_base_time(self, src: str, dst: str, num_bytes: int) -> float:
-        key = (src, dst, num_bytes)
-        base = self._transfer_base.get(key)
-        if base is None:
-            base = self.perf.base_transfer_time(src, dst, num_bytes)
-            self._transfer_base[key] = base
-        return base
-
-    def _link_base_time(self, link: LinkSpec, num_bytes: int) -> float:
-        key = (link, num_bytes)
-        base = self._link_base.get(key)
-        if base is None:
-            base = self.perf.base_link_time(link, num_bytes)
-            self._link_base[key] = base
-        return base
 
     # ------------------------------------------------------------------
     def run_step(
@@ -227,7 +114,7 @@ class _StepState:
 
     def __init__(
         self,
-        sim: ExecutionSimulator,
+        sim: ReferenceSimulator,
         placement: Mapping[str, str],
         order: Optional[Sequence[str]],
         policy: str,
@@ -235,12 +122,10 @@ class _StepState:
         self.sim = sim
         self.graph = sim.graph
         self.policy = policy
-        self.plan = sim.plan()
-        plan = self.plan
         self.device_names = sim.topology.device_names
         dev_set = set(self.device_names)
         self.placement: Dict[str, str] = {}
-        for op in plan.ops:
+        for op in self.graph.ops:
             dev = placement.get(op.name)
             if dev is None:
                 raise SimulationError(f"placement misses op {op.name!r}")
@@ -259,23 +144,12 @@ class _StepState:
         # Per-tensor consumer ops grouped by consuming device.
         self.consumers_by_device: Dict[str, Dict[str, List[Operation]]] = {}
         self.deps_remaining: Dict[str, int] = {}
-        for i, op in enumerate(plan.ops):
-            distinct = plan.distinct_inputs[i]
+        for op in self.graph.ops:
+            distinct = {t.name: t for t in op.inputs}
             self.deps_remaining[op.name] = len(distinct)
-            dev = self.placement[op.name]
-            for t in distinct:
+            for t in distinct.values():
                 per_dev = self.consumers_by_device.setdefault(t.name, {})
-                per_dev.setdefault(dev, []).append(op)
-
-        # Per-device noise-free kernel durations; None on the scalar
-        # fallback path for perf models without batch support.
-        self.base_times: Optional[Dict[str, np.ndarray]] = None
-        if sim._fast:
-            topo = sim.topology
-            self.base_times = {
-                d: plan.base_times(sim.perf, topo.device(d))
-                for d in self.device_names
-            }
+                per_dev.setdefault(self.placement[op.name], []).append(op)
 
         self.available: Set[Tuple[str, str]] = set()  # (tensor, device)
         self.memory = MemoryTracker(
@@ -300,7 +174,7 @@ class _StepState:
 
     # ------------------------------------------------------------------
     def run(self) -> StepTrace:
-        for op in self.plan.ops:
+        for op in self.graph.ops:
             if self.deps_remaining[op.name] == 0:
                 self._enqueue_ready(op, 0.0)
         for dev in self.device_names:
@@ -348,13 +222,7 @@ class _StepState:
         _, _, _, op = heapq.heappop(self.ready[dev])
         self.device_busy[dev] = True
         self._allocate_outputs(op, dev)
-        if self.base_times is not None:
-            # Same value, same jitter-stream consumption as
-            # perf.op_time — only the base lookup is precomputed.
-            base = float(self.base_times[dev][self.plan.op_index[op.name]])
-            duration = self.sim.perf.jittered(base)
-        else:
-            duration = self.sim.perf.op_time(op, self.sim.topology.device(dev))
+        duration = self.sim.perf.op_time(op, self.sim.topology.device(dev))
         end = time + duration
         self.trace.op_records.append(
             OpRecord(
@@ -385,8 +253,8 @@ class _StepState:
         self.device_busy[dev] = False
         self.completed += 1
         # Release this op's holds on its (local copies of) inputs.
-        for t in self.plan.distinct_inputs[self.plan.op_index[op.name]]:
-            self.memory.release(t.name, dev)
+        for t_name in {t.name for t in op.inputs}:
+            self.memory.release(t_name, dev)
         # Outputs become available locally and trigger remote transfers.
         for t in op.outputs:
             self._mark_available(t.name, dev, time, cause=f"op:{op.name}")
@@ -418,7 +286,13 @@ class _StepState:
 
     # ------------------------------------------------------------------
     def _enqueue_transfer(self, transfer: _Transfer, time: float) -> None:
-        transfer.hops = self.sim.route_hops(transfer.src, transfer.dst)
+        route = self.sim.topology.route(transfer.src, transfer.dst)
+        # All-wire routes (no contended channel) still produce one hop —
+        # the effective link — so the transfer is traced and pays its
+        # route latency; infinite bandwidth makes the queueing harmless.
+        transfer.hops = route.channels or (
+            self.sim.topology.link(transfer.src, transfer.dst),
+        )
         transfer.hop = 0
         self._enqueue_hop(transfer, time)
 
@@ -440,23 +314,12 @@ class _StepState:
                 transfer.num_bytes,
                 consumers=transfer.consumers,
             )
-        sim = self.sim
-        if sim._fast:
-            if len(transfer.hops) == 1:
-                base = sim._transfer_base_time(
-                    transfer.src, transfer.dst, transfer.num_bytes
-                )
-            else:
-                base = sim._link_base_time(
-                    transfer.hops[transfer.hop], transfer.num_bytes
-                )
-            duration = sim.perf.jittered(base) if base else 0.0
-        elif len(transfer.hops) == 1:
-            duration = sim.perf.transfer_time(
+        if len(transfer.hops) == 1:
+            duration = self.sim.perf.transfer_time(
                 transfer.src, transfer.dst, transfer.num_bytes
             )
         else:
-            duration = sim.perf.link_time(
+            duration = self.sim.perf.link_time(
                 transfer.hops[transfer.hop], transfer.num_bytes
             )
         end = time + duration

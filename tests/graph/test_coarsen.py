@@ -1,0 +1,218 @@
+"""Graph coarsening: lossless contraction with exact aggregate costs.
+
+``contract_graph`` shrinks the search graph, never the executed one:
+every fine op maps to exactly one coarse node, aggregate compute/memory
+costs are exact member sums, and the expand mapping reproduces a
+complete fine placement and a valid fine topological order.  The coarse
+search built on top must leave ``coarsen=False`` byte-identical to the
+flat engine and keep the expanded strategy's simulated makespan in the
+same ballpark as the exact search's.
+"""
+
+import pytest
+
+from repro.cluster import cluster_for
+from repro.core import DPOS, OSDPOS
+from repro.core.os_dpos import SearchOptions
+from repro.costmodel import OracleCommunicationModel, OracleComputationModel
+from repro.graph import (
+    SuperComputationModel,
+    build_single_device_training_graph,
+    contract_graph,
+)
+from repro.hardware import PerfModel
+from repro.models import get_model, model_names
+from repro.sim import ExecutionSimulator
+
+ZOO = tuple(model_names())
+
+
+def _training_graph(model_name):
+    spec = get_model(model_name, preset="bench")
+    return build_single_device_training_graph(
+        spec.builder, spec.global_batch, name=f"{model_name}_coarsen"
+    )
+
+
+def _engine(topo, perf, **search_kwargs):
+    return OSDPOS(
+        DPOS(topo, OracleComputationModel(perf), OracleCommunicationModel(perf)),
+        options=SearchOptions(max_candidate_ops=4, **search_kwargs),
+    )
+
+
+def _fingerprint(result):
+    s = result.strategy
+    return (
+        sorted(s.placement.items()),
+        list(s.order),
+        [(d.op_name, d.dim, d.num_splits) for d in s.split_list],
+        s.estimated_time,
+        result.finish_time,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Round-trip: expand(contract(g)) loses nothing
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("model_name", ZOO)
+def test_contract_round_trips(model_name):
+    graph = _training_graph(model_name)
+    plan = contract_graph(graph, target=64)
+    plan.coarse.validate()
+    assert plan.coarse.num_ops <= graph.num_ops
+
+    # Members partition the fine ops.
+    covered = [m for members in plan.members.values() for m in members]
+    assert sorted(covered) == sorted(op.name for op in graph.ops)
+    assert set(plan.op_to_coarse) == {op.name for op in graph.ops}
+
+    # The expanded order is a valid fine topological order.
+    order = plan.expand_order(
+        [op.name for op in plan.coarse.topological_order(canonical=True)]
+    )
+    position = {name: i for i, name in enumerate(order)}
+    assert len(order) == graph.num_ops
+    for op in graph.ops:
+        for tensor in op.inputs:
+            if tensor.producer is not None:
+                assert position[tensor.producer.name] < position[op.name]
+
+    # A coarse placement expands to a complete fine placement.
+    devices = ["d0", "d1"]
+    coarse_placement = {
+        op.name: devices[i % 2] for i, op in enumerate(plan.coarse.ops)
+    }
+    fine_placement = plan.expand_placement(coarse_placement)
+    assert set(fine_placement) == {op.name for op in graph.ops}
+    for coarse_name, members in plan.super_ops.items():
+        for member in members:
+            assert fine_placement[member] == coarse_placement[coarse_name]
+
+
+@pytest.mark.parametrize("model_name", ["inception_v3", "resnet200"])
+def test_aggregate_costs_are_exact(model_name):
+    graph = _training_graph(model_name)
+    plan = contract_graph(graph, target=64)
+    fine_flops = sum(op.flops for op in graph.ops)
+    fine_bytes = sum(op.bytes_accessed for op in graph.ops)
+    fine_persistent = sum(op.persistent_bytes for op in graph.ops)
+    coarse_flops = sum(op.flops for op in plan.coarse.ops)
+    coarse_bytes = sum(op.bytes_accessed for op in plan.coarse.ops)
+    coarse_persistent = sum(op.persistent_bytes for op in plan.coarse.ops)
+    assert coarse_flops == pytest.approx(fine_flops, rel=0, abs=0)
+    assert coarse_bytes == fine_bytes
+    assert coarse_persistent == fine_persistent
+
+
+def test_super_time_is_member_sum():
+    graph = _training_graph("alexnet")
+    plan = contract_graph(graph, target=32)
+    topo = cluster_for(2)
+    perf = PerfModel(topo)
+    base = OracleComputationModel(perf)
+    model = SuperComputationModel(base, plan)
+    device = topo.device_names[0]
+    checked = 0
+    for coarse_name, members in plan.super_ops.items():
+        coarse_op = plan.coarse.get_op(coarse_name)
+        expected = sum(
+            base.time(graph.get_op(m), device) for m in members
+        )
+        assert model.time(coarse_op, device) == pytest.approx(expected)
+        # Second lookup hits the (fingerprint, device) memo.
+        assert model.time(coarse_op, device) == model.time(coarse_op, device)
+        checked += 1
+    assert checked > 0
+
+
+def test_colocation_groups_are_preserved_coarsely():
+    graph = _training_graph("lenet")
+    plan = contract_graph(graph, target=16)
+    for group, members in graph.colocation_groups().items():
+        coarse_names = {plan.op_to_coarse[op.name] for op in members}
+        coarse_groups = {
+            plan.coarse.get_op(name).colocation_group for name in coarse_names
+        }
+        # Every cluster touching one fine group shares one coarse group,
+        # so colocated fine ops can never be pulled apart by a coarse
+        # placement.
+        assert len(coarse_groups) == 1
+        assert None not in coarse_groups
+
+
+def test_contract_target_validation():
+    graph = _training_graph("lenet")
+    with pytest.raises(ValueError):
+        contract_graph(graph, target=0)
+
+
+# ---------------------------------------------------------------------------
+# Search equivalence: coarsen=False is byte-identical to the flat engine
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("model_name", ZOO)
+def test_coarsen_off_is_byte_identical(model_name):
+    topo = cluster_for(4)
+    perf = PerfModel(topo)
+    flat = _engine(topo, perf, coarsen=False).run(_training_graph(model_name))
+    # "auto" below the threshold must take the exact path too.
+    auto = _engine(topo, perf).run(_training_graph(model_name))
+    assert _fingerprint(auto) == _fingerprint(flat)
+
+
+def test_auto_threshold_switches_modes():
+    topo = cluster_for(2)
+    perf = PerfModel(topo)
+    graph = _training_graph("lenet")
+    # A threshold at the op count flips "auto" onto the coarse path:
+    # byte-identical to forcing coarsen=True with the same target.
+    auto_low = _engine(
+        topo, perf, coarsen_threshold=graph.num_ops, coarsen_target=16
+    ).run(graph)
+    forced = _engine(topo, perf, coarsen=True, coarsen_target=16).run(
+        _training_graph("lenet")
+    )
+    assert _fingerprint(auto_low) == _fingerprint(forced)
+
+
+def test_search_options_validate_coarsen():
+    with pytest.raises(ValueError):
+        SearchOptions(coarsen="maybe")
+    with pytest.raises(ValueError):
+        SearchOptions(coarsen_threshold=0)
+    with pytest.raises(ValueError):
+        SearchOptions(coarsen_target=0)
+
+
+# ---------------------------------------------------------------------------
+# Coarse search quality: complete strategies, bounded regression
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("model_name", ["lenet", "alexnet", "inception_v3"])
+def test_coarse_strategy_simulates_within_tolerance(model_name):
+    topo = cluster_for(4)
+    perf = PerfModel(topo)
+
+    def simulate(result):
+        sim = ExecutionSimulator(result.graph, topo, perf)
+        trace = sim.run_step(
+            result.strategy.placement,
+            order=result.strategy.order,
+            policy="priority",
+        )
+        return trace.makespan
+
+    exact = _engine(topo, perf, coarsen=False).run(_training_graph(model_name))
+    coarse = _engine(topo, perf, coarsen=True).run(_training_graph(model_name))
+
+    # The coarse strategy is complete and executable...
+    assert set(coarse.strategy.placement) == {
+        op.name for op in coarse.graph.ops
+    }
+    exact_makespan = simulate(exact)
+    coarse_makespan = simulate(coarse)
+    # ...and lands within the coarse/exact quality envelope: clustering
+    # serializes members, so some slowdown is expected, but the strategy
+    # must stay the same order of magnitude as the exact search's.
+    assert coarse_makespan <= 2.5 * exact_makespan
+    # The coarse finish estimate prices the expanded schedule it emits.
+    assert coarse.finish_time == pytest.approx(coarse_makespan, rel=0.5)
