@@ -39,12 +39,23 @@ def pytest_addoption(parser):
             "and per-table CSV exports"
         ),
     )
+    parser.addoption(
+        "--progress",
+        action="store_true",
+        default=os.environ.get("REPRO_PROGRESS", "") == "1",
+        help=(
+            "Render live strategy-search progress per trial (the "
+            "repro.obs event-bus TTY renderer)"
+        ),
+    )
 
 
 def pytest_configure(config):
     trace_dir = config.getoption("--trace-dir", default=None)
     if trace_dir:
         harness.set_trace_dir(trace_dir)
+    if config.getoption("--progress", default=False):
+        harness.set_progress(True)
 
 
 def export_rows(

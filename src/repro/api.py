@@ -21,10 +21,21 @@ export a Chrome-trace timeline::
     obs = Observability()
     result = repro.optimize("lenet", single_server(2), obs=obs)
     obs.export_chrome_trace("optimize.trace.json")   # open in Perfetto
+
+Or let the flight recorder do all of it: ``run_dir=True`` (or setting
+``REPRO_RECORD=1``) mints a run id, streams telemetry events to a JSONL
+log, and leaves a versioned manifest plus every artifact — trace,
+provenance journal, calibration report, metrics, a simulated step —
+under one registry directory (see :mod:`repro.obs.runs`)::
+
+    result = repro.optimize("lenet", single_server(2), run_dir=True)
+    print(result.run_id, result.run_dir)
+    # later: python -m repro.obs.runs show <run_id>
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Union
 
@@ -69,6 +80,11 @@ class OptimizeResult:
     iteration_time: float
     training_speed: float
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    #: Flight-recorder identity, set when the run was recorded
+    #: (``run_dir=`` / ``REPRO_RECORD=1``); query it later with
+    #: ``python -m repro.obs.runs show <run_id>``.
+    run_id: Optional[str] = None
+    run_dir: Optional[str] = None
 
     @property
     def num_devices(self) -> int:
@@ -173,6 +189,8 @@ def optimize(
     obs: Optional[Observability] = None,
     perf_model: Optional[PerfModel] = None,
     model_name: Optional[str] = None,
+    run_dir: Union[None, bool, str] = None,
+    progress: bool = False,
 ) -> OptimizeResult:
     """Find and evaluate a deployment strategy for one training job.
 
@@ -192,10 +210,19 @@ def optimize(
             spans and metrics across every layer of the run.
         perf_model: Override the simulated hardware model (testing).
         model_name: Display name when passing a bare builder.
+        run_dir: Record this run in the flight-recorder registry
+            (:mod:`repro.obs.runs`).  ``True`` records under the default
+            root (``$REPRO_RUNS_DIR`` or ``~/.repro/runs``); a string
+            records under that root instead; ``False`` disables even the
+            ``REPRO_RECORD=1`` environment default; ``None`` (default)
+            defers to ``REPRO_RECORD``.
+        progress: Render live search progress on stderr (the same
+            renderer behind the benchmarks' ``--progress`` flag).
 
     Returns:
         An :class:`OptimizeResult` with the surviving strategy, the
-        measured iteration time / training speed, and the run's metrics.
+        measured iteration time / training speed, the run's metrics, and
+        — for recorded runs — ``run_id``/``run_dir``.
     """
     topology = topology_from(topology)
     if isinstance(model_or_name, str):
@@ -223,22 +250,93 @@ def optimize(
     if model_name is not None:
         name = model_name
 
-    session = FastTSession(
-        builder,
-        topology,
-        global_batch=batch,
-        perf_model=perf_model,
-        config=config,
-        model_name=name,
-        obs=obs,
-    )
-    report = session.optimize()
+    if run_dir is None:
+        record = os.environ.get("REPRO_RECORD", "") == "1"
+        registry_root = None
+    else:
+        record = bool(run_dir)
+        registry_root = run_dir if isinstance(run_dir, str) else None
+
+    recorder = None
+    renderer = None
+    if record or progress:
+        if obs is None:
+            obs = Observability(events=True, provenance=record)
+        elif not obs.enabled:
+            raise ValueError(
+                "run recording/progress needs an enabled Observability; "
+                "got a disabled obs= hook"
+            )
+        elif not obs.events.enabled:
+            from .obs import EventBus
+
+            obs.events = EventBus()
+    if record:
+        from .obs.runs import RunRegistry
+
+        recorder = RunRegistry(registry_root).create()
+        recorder.attach(obs)
+    if progress:
+        from .obs.progress import ProgressRenderer
+
+        renderer = ProgressRenderer()
+        obs.events.subscribe(renderer)
+    if obs is not None and obs.events.enabled:
+        obs.events.emit(
+            "run.start",
+            run_id=recorder.run_id if recorder else None,
+            model=name,
+            batch=batch,
+            devices=len(topology.devices),
+        )
+
+    try:
+        session = FastTSession(
+            builder,
+            topology,
+            global_batch=batch,
+            perf_model=perf_model,
+            config=config,
+            model_name=name,
+            obs=obs,
+        )
+        report = session.optimize()
+    except BaseException as exc:
+        if recorder is not None:
+            recorder.finish(
+                status="failed",
+                model=name,
+                global_batch=batch,
+                devices=len(topology.devices),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        if renderer is not None:
+            obs.events.unsubscribe(renderer)
+            renderer.close()
+        raise
+
     iteration_time = report.measured_time
     speed = batch / iteration_time if iteration_time else float("inf")
     if obs is not None and obs.enabled:
         metrics = obs.snapshot()
     else:
         metrics = MetricsSnapshot(report.metrics)
+
+    run_id_out: Optional[str] = None
+    run_dir_out: Optional[str] = None
+    if recorder is not None:
+        run_id_out, run_dir_out = _record_run(
+            recorder, obs, session, report, name, batch, topology,
+            iteration_time, speed, metrics,
+        )
+    elif obs is not None and obs.events.enabled:
+        obs.events.emit(
+            "run.finish", status="completed", makespan=iteration_time
+        )
+    if renderer is not None:
+        obs.events.unsubscribe(renderer)
+        renderer.close()
+
     return OptimizeResult(
         model_name=name,
         topology=topology,
@@ -250,4 +348,75 @@ def optimize(
         iteration_time=iteration_time,
         training_speed=speed,
         metrics=metrics,
+        run_id=run_id_out,
+        run_dir=run_dir_out,
     )
+
+
+def _record_run(
+    recorder,
+    obs: Observability,
+    session: FastTSession,
+    report: CalculationReport,
+    name: str,
+    batch: int,
+    topology: Topology,
+    iteration_time: float,
+    speed: float,
+    metrics: MetricsSnapshot,
+) -> tuple:
+    """Write a recorded run's artifacts and manifest; returns (id, dir).
+
+    Everything lands inside the run directory: the Chrome trace, the
+    provenance journal, the calibration report, the metrics snapshot,
+    and one simulated step under the surviving strategy (what
+    ``python -m repro.obs.runs diff`` re-attributes).
+    """
+    from .obs.runs import config_fingerprints
+
+    step_trace = session.run(1)[-1]
+    recorder.add_artifact(
+        "step", step_trace.save(recorder.path("step.json"))
+    )
+    recorder.add_artifact(
+        "trace", obs.export_chrome_trace(recorder.path("trace.json"))
+    )
+    recorder.add_artifact(
+        "provenance",
+        obs.export_provenance(recorder.path("provenance.json")),
+    )
+    if report.calibration is not None:
+        recorder.add_artifact(
+            "calibration",
+            report.calibration.save(recorder.path("calibration.json")),
+        )
+    recorder.add_artifact(
+        "metrics",
+        obs.export_metrics_json(
+            recorder.path("metrics.json"), run_id=recorder.run_id
+        ),
+    )
+    obs.events.emit(
+        "run.finish",
+        run_id=recorder.run_id,
+        status="completed",
+        makespan=iteration_time,
+    )
+    recorder.finish(
+        status="completed",
+        model=name,
+        global_batch=batch,
+        devices=len(topology.devices),
+        fingerprints=config_fingerprints(
+            session.input_graph, topology, session.config
+        ),
+        makespan=iteration_time,
+        training_speed=speed,
+        strategy_label=report.strategy.label,
+        splits=len(report.strategy.split_list),
+        metrics={
+            k: v for k, v in metrics.items()
+            if isinstance(v, (int, float)) and k.startswith("search.")
+        },
+    )
+    return recorder.run_id, recorder.run_dir

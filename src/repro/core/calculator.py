@@ -374,6 +374,7 @@ class StrategyCalculator:
     def _run_rounds(self) -> CalculationReport:
         config = self.config
         tracer = self.obs.tracer
+        events = self.obs.events
         current_strategy = self.initial_strategy
         current_graph = self.input_graph
         report = CalculationReport(strategy=current_strategy, graph=current_graph)
@@ -388,11 +389,19 @@ class StrategyCalculator:
                 cat="calculator",
                 args={"strategy": current_strategy.label},
             )
+            if events.enabled:
+                events.emit(
+                    "round.start",
+                    round=round_index,
+                    strategy=current_strategy.label,
+                    best=best[2] if best else None,
+                )
             record = RoundRecord(
                 round_index=round_index,
                 strategy_label=current_strategy.label,
                 estimated_time=current_strategy.estimated_time,
             )
+            profile_started = _time.perf_counter()
             try:
                 result = self._profile(
                     current_graph, current_strategy, config.profiling_steps
@@ -404,6 +413,14 @@ class StrategyCalculator:
             except SimulationOOMError:
                 current_measured = None
             record.measured_time = current_measured
+            if events.enabled:
+                events.emit(
+                    "phase",
+                    name="profile",
+                    round=round_index,
+                    seconds=_time.perf_counter() - profile_started,
+                    measured=current_measured,
+                )
 
             if round_index == 0 and current_measured is not None:
                 report.initial_measured_time = current_measured
@@ -431,6 +448,18 @@ class StrategyCalculator:
                     cat="calculator",
                     args={"to": current_strategy.label},
                 )
+                if events.enabled:
+                    events.emit(
+                        "round.rollback",
+                        round=round_index,
+                        to=current_strategy.label,
+                    )
+                    events.emit(
+                        "round.finish",
+                        round=round_index,
+                        verdict="rolled-back",
+                        best=best[2] if best else None,
+                    )
                 report.simulated_restart_seconds += config.restart_overhead_seconds
                 report.rounds.append(record)
                 continue
@@ -440,6 +469,13 @@ class StrategyCalculator:
             record.stable = self._stability.update(self.computation.snapshot())
             if record.stable and round_index + 1 >= config.min_rounds:
                 report.rounds.append(record)
+                if events.enabled:
+                    events.emit(
+                        "round.finish",
+                        round=round_index,
+                        verdict="stable",
+                        best=best[2] if best else None,
+                    )
                 break
 
             started = _time.perf_counter()
@@ -449,7 +485,15 @@ class StrategyCalculator:
                 args={"round": round_index},
             ):
                 candidate, candidate_graph = self._compute_strategy(report)
-            report.algorithm_seconds += _time.perf_counter() - started
+            search_seconds = _time.perf_counter() - started
+            report.algorithm_seconds += search_seconds
+            if events.enabled:
+                events.emit(
+                    "phase",
+                    name="search",
+                    round=round_index,
+                    seconds=search_seconds,
+                )
 
             should_activate = (
                 candidate.estimated_time is not None
@@ -472,11 +516,26 @@ class StrategyCalculator:
                         "estimate": candidate.estimated_time,
                     },
                 )
+                if events.enabled:
+                    events.emit(
+                        "round.activate",
+                        round=round_index,
+                        strategy=candidate.label,
+                        estimate=candidate.estimated_time,
+                    )
             report.rounds.append(record)
+            if events.enabled:
+                events.emit(
+                    "round.finish",
+                    round=round_index,
+                    verdict="activated" if record.activated else "kept",
+                    best=best[2] if best else None,
+                )
 
         # Final measurement; if a strategy was activated but never
         # validated (the loop budget ran out first), the rollback rule
         # still applies — FastT keeps whatever measured fastest.
+        measure_started = _time.perf_counter()
         try:
             final = self._profile(
                 current_graph, current_strategy, config.measure_steps
@@ -487,6 +546,13 @@ class StrategyCalculator:
             )
         except SimulationOOMError:
             final_measured = None
+        if events.enabled:
+            events.emit(
+                "phase",
+                name="measure",
+                seconds=_time.perf_counter() - measure_started,
+                measured=final_measured,
+            )
         if final_measured is not None and (
             best is None or final_measured < best[2]
         ):

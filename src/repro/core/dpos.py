@@ -242,7 +242,18 @@ class DPOS:
             cp_pending, cp_placed, devices, mem_used, costs, collect=cp_alts
         )
 
-        for name in sequence:
+        events = self.obs.events
+        progress_stride = (
+            max(1, len(sequence) // 8) if events.enabled else 0
+        )
+        for seq_index, name in enumerate(sequence):
+            if progress_stride and seq_index % progress_stride == 0:
+                events.emit(
+                    "dpos.progress",
+                    graph=graph.name,
+                    placed=seq_index,
+                    total=len(sequence),
+                )
             op = graph.get_op(name)
             need = costs.persistent_bytes(op)
             forced = (

@@ -377,6 +377,13 @@ class OSDPOS:
         else:
             mode = "naive" if self.naive else "incremental"
         search = obs.provenance.begin_search(graph=graph.name, mode=mode)
+        if obs.events.enabled:
+            obs.events.emit(
+                "search.start",
+                graph=graph.name,
+                ops=graph.num_ops,
+                mode=mode,
+            )
         with obs.tracer.span(
             "search.osdpos",
             cat="search",
@@ -392,6 +399,14 @@ class OSDPOS:
                 result = self._run_naive(graph, search)
             else:
                 result = self._run_incremental(graph, search)
+        if obs.events.enabled:
+            obs.events.emit(
+                "search.finish",
+                graph=graph.name,
+                mode=mode,
+                makespan=result.finish_time,
+                splits=len(result.strategy.split_list),
+            )
         if obs.enabled:
             metrics = obs.metrics
             metrics.counter("search.runs").inc()
@@ -406,6 +421,39 @@ class OSDPOS:
     def search(self, graph: Graph) -> OSDPOSResult:
         """Alias of :meth:`run` (consistent with :meth:`DPOS.search`)."""
         return self.run(graph)
+
+    # ------------------------------------------------------------------
+    # Telemetry (no-ops unless the obs hook carries a live event bus)
+    # ------------------------------------------------------------------
+    def _emit_op_start(
+        self, op_name: str, index: int, total: int, incumbent: float
+    ) -> None:
+        events = self.obs.events
+        if events.enabled:
+            events.emit(
+                "search.op.start",
+                op=op_name, index=index + 1, total=total,
+                incumbent=incumbent,
+            )
+
+    def _emit_commit(self, decision: SplitDecision, makespan: float) -> None:
+        events = self.obs.events
+        if events.enabled:
+            events.emit(
+                "search.commit",
+                op=decision.op_name, dim=decision.dim,
+                num_splits=decision.num_splits, makespan=makespan,
+            )
+
+    def _emit_op_finish(
+        self, op_name: str, verdict: str, makespan: Optional[float] = None
+    ) -> None:
+        events = self.obs.events
+        if events.enabled:
+            events.emit(
+                "search.op.finish",
+                op=op_name, verdict=verdict, makespan=makespan,
+            )
 
     # ------------------------------------------------------------------
     # Reference path: copy the whole graph per candidate
@@ -423,16 +471,20 @@ class OSDPOS:
             if self.max_candidate_ops is not None:
                 cp_ops = cp_ops[: self.max_candidate_ops]
             search.set_candidate_ops(cp_ops)
-            for op_name in cp_ops:
+            for op_index, op_name in enumerate(cp_ops):
                 if op_name not in current_graph:
                     continue  # consumed by an earlier committed split
                 op = current_graph.get_op(op_name)
                 if not op.is_splittable:
                     continue
                 rnd = search.begin_op(op_name, incumbent=best.finish_time)
+                self._emit_op_start(
+                    op_name, op_index, len(cp_ops), best.finish_time
+                )
                 outcome = self._best_split_for(current_graph, op, rnd)
                 if outcome is None:
                     rnd.no_candidates()
+                    self._emit_op_finish(op_name, "no-candidates")
                     continue
                 decision, candidate_graph, candidate_result, tried = outcome
                 candidates_evaluated += tried
@@ -447,9 +499,16 @@ class OSDPOS:
                     split_list.append(decision)
                     current_graph = candidate_graph
                     best = candidate_result
+                    self._emit_commit(decision, best.finish_time)
+                    self._emit_op_finish(
+                        op_name, "accepted", best.finish_time
+                    )
                 else:
                     rnd.reject(best_makespan=candidate_result.finish_time)
                     splits_rejected += 1
+                    self._emit_op_finish(
+                        op_name, "rejected", candidate_result.finish_time
+                    )
                     break  # paper: stop at the first non-improving CP op
 
         return self._package(
@@ -523,7 +582,9 @@ class OSDPOS:
         """
         working = graph.copy()
         memo: Dict[Tuple[str, str], float] = {}
-        plan = contract_graph(working, target=self.coarsen_target)
+        plan = contract_graph(
+            working, target=self.coarsen_target, events=self.obs.events
+        )
         engine = self._coarse_engine(plan, memo)
         best = engine.run(plan.coarse)
         search.record_initial(best.finish_time)
@@ -537,19 +598,23 @@ class OSDPOS:
                 cp_ops = cp_ops[: self.max_candidate_ops]
             search.set_candidate_ops(cp_ops)
             tracer = self.obs.tracer
-            for op_name in cp_ops:
+            for op_index, op_name in enumerate(cp_ops):
                 if op_name not in working:
                     continue  # consumed by an earlier committed split
                 op = working.get_op(op_name)
                 if not op.is_splittable:
                     continue
                 rnd = search.begin_op(op_name, incumbent=best.finish_time)
+                self._emit_op_start(
+                    op_name, op_index, len(cp_ops), best.finish_time
+                )
                 with tracer.span(
                     f"evaluate:{op_name}", cat="search.candidates"
                 ):
                     outcome = self._best_coarse_split(working, op, memo, rnd)
                 if outcome is None:
                     rnd.no_candidates()
+                    self._emit_op_finish(op_name, "no-candidates")
                     continue
                 decision, candidate_result, tried = outcome
                 evaluated += tried
@@ -571,7 +636,11 @@ class OSDPOS:
                     txn.commit()
                     split_list.append(decision)
                     best = candidate_result
-                    plan = contract_graph(working, target=self.coarsen_target)
+                    plan = contract_graph(
+                        working,
+                        target=self.coarsen_target,
+                        events=self.obs.events,
+                    )
                     tracer.instant(
                         f"commit-split:{op_name}",
                         cat="search",
@@ -581,9 +650,16 @@ class OSDPOS:
                             "finish_time": candidate_result.finish_time,
                         },
                     )
+                    self._emit_commit(decision, best.finish_time)
+                    self._emit_op_finish(
+                        op_name, "accepted", best.finish_time
+                    )
                 else:
                     rnd.reject(best_makespan=candidate_result.finish_time)
                     rejected += 1
+                    self._emit_op_finish(
+                        op_name, "rejected", candidate_result.finish_time
+                    )
                     break  # first non-improving CP op stops the search
 
         search.set_super_ops(plan.super_ops)
@@ -746,13 +822,16 @@ class OSDPOS:
                     cp_ops = cp_ops[: self.max_candidate_ops]
                 search.set_candidate_ops(cp_ops)
                 tracer = self.obs.tracer
-                for op_name in cp_ops:
+                for op_index, op_name in enumerate(cp_ops):
                     if op_name not in working:
                         continue  # consumed by an earlier committed split
                     op = working.get_op(op_name)
                     if not op.is_splittable:
                         continue
                     rnd = search.begin_op(op_name, incumbent=best.finish_time)
+                    self._emit_op_start(
+                        op_name, op_index, len(cp_ops), best.finish_time
+                    )
                     with tracer.span(
                         f"evaluate:{op_name}", cat="search.candidates"
                     ):
@@ -764,6 +843,7 @@ class OSDPOS:
                     pruned += outcome.pruned
                     if outcome.attempted == 0:
                         rnd.no_candidates()
+                        self._emit_op_finish(op_name, "no-candidates")
                         continue  # no structurally possible split
                     if (
                         outcome.best is not None
@@ -791,6 +871,10 @@ class OSDPOS:
                                 "finish_time": result.finish_time,
                             },
                         )
+                        self._emit_commit(decision, best.finish_time)
+                        self._emit_op_finish(
+                            op_name, "accepted", best.finish_time
+                        )
                         if self.prune:
                             bounds = _SearchBounds(cache)
                     else:
@@ -801,6 +885,12 @@ class OSDPOS:
                             )
                         )
                         rejected += 1
+                        self._emit_op_finish(
+                            op_name,
+                            "rejected",
+                            None if outcome.best is None
+                            else outcome.best[1].finish_time,
+                        )
                         break  # first non-improving CP op stops the search
         finally:
             if executor is not None:

@@ -81,6 +81,14 @@ class FastTSession:
 
         self.alternative_inputs: list = []
         self.input_graph, self.initial_strategy = self._prepare_input()
+        if self.obs.events.enabled:
+            self.obs.events.emit(
+                "session.input",
+                graph=self.input_graph.name,
+                strategy=self.initial_strategy.label,
+                ops=self.input_graph.num_ops,
+                alternatives=len(self.alternative_inputs),
+            )
         self._report: Optional[CalculationReport] = None
 
     # ------------------------------------------------------------------

@@ -9,12 +9,13 @@ configuration so the many benchmark files can share results.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional
 
 from ..baselines import (
     build_data_parallel_baseline,
@@ -39,8 +40,11 @@ from ..obs import (
     write_gate_summary,
     write_metrics_json,
 )
+from ..obs.log import get_logger
 from ..profiling import StepTrace
 from ..sim import ExecutionSimulator, SimulationOOMError
+
+_logger = get_logger(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.calibration import CalibrationReport
@@ -95,6 +99,21 @@ def get_trace_dir() -> Optional[str]:
     return _TRACE_DIR
 
 
+# Live progress (the shared --progress flag of the benchmark suite):
+# attaches the event-bus TTY renderer to every FastT trial.
+_PROGRESS = False
+
+
+def set_progress(enabled: bool) -> None:
+    """Render live search progress for subsequent trials (``--progress``)."""
+    global _PROGRESS
+    _PROGRESS = bool(enabled)
+
+
+def get_progress() -> bool:
+    return _PROGRESS
+
+
 #: Opt-in env flag: ``REPRO_TRACE_PROVENANCE=1`` makes traced trials
 #: also journal every search decision (exported as
 #: ``<stem>.provenance.json`` / ``<stem>.calibration.json``).  Off by
@@ -103,12 +122,30 @@ _PROVENANCE_ENV = "REPRO_TRACE_PROVENANCE"
 
 
 def _trial_obs() -> Optional[Observability]:
-    """A recording hook when a trace dir is set, else None (no-op obs)."""
-    if not _TRACE_DIR:
+    """A recording hook when a trace dir or --progress is set, else None."""
+    if not _TRACE_DIR and not _PROGRESS:
         return None
     return Observability(
-        provenance=os.environ.get(_PROVENANCE_ENV, "") == "1"
+        provenance=os.environ.get(_PROVENANCE_ENV, "") == "1",
+        events=_PROGRESS,
     )
+
+
+@contextlib.contextmanager
+def _progress_scope(obs: Optional[Observability]) -> Iterator[None]:
+    """Attach the TTY renderer to ``obs`` for the duration of one trial."""
+    if obs is None or not _PROGRESS or not obs.events.enabled:
+        yield
+        return
+    from ..obs.progress import ProgressRenderer
+
+    renderer = ProgressRenderer()
+    obs.events.subscribe(renderer)
+    try:
+        yield
+    finally:
+        obs.events.unsubscribe(renderer)
+        renderer.close()
 
 
 def _trial_stem(result: "TrialResult") -> str:
@@ -258,10 +295,13 @@ def cached_trial(key: Dict[str, object], fn: Callable[[], TrialResult]) -> Trial
             with open(path) as handle:
                 stored = json.load(handle)
             if stored.get("schema") == CACHE_SCHEMA_VERSION:
+                _logger.debug("trial cache hit %s (%s)", digest, key)
                 return TrialResult.from_json(stored["result"])
         except (json.JSONDecodeError, KeyError, TypeError):
             pass  # corrupt or incompatible: fall through and recompute
+        _logger.info("trial cache entry %s is stale; recomputing", digest)
         os.remove(path)
+    _logger.info("running trial %s", key)
     result = fn()
     with open(path, "w") as handle:
         json.dump(
@@ -382,16 +422,17 @@ def run_fastt_trial(
     )
     obs = _trial_obs()
     try:
-        session = FastTSession(
-            model.builder,
-            topology,
-            global_batch,
-            perf_model=_perf_model(topology, seed),
-            config=config or bench_config(),
-            model_name=model.name,
-            obs=obs,
-        )
-        report = session.optimize()
+        with _progress_scope(obs):
+            session = FastTSession(
+                model.builder,
+                topology,
+                global_batch,
+                perf_model=_perf_model(topology, seed),
+                config=config or bench_config(),
+                model_name=model.name,
+                obs=obs,
+            )
+            report = session.optimize()
         traces = measure_strategy(
             report.graph,
             report.strategy,
@@ -551,16 +592,17 @@ def optimized_session(
     if session is None:
         topology = cluster_for(num_gpus, num_servers)
         obs = _trial_obs()
-        session = FastTSession(
-            model.builder,
-            topology,
-            batch,
-            perf_model=_perf_model(topology, seed),
-            config=bench_config(),
-            model_name=model.name,
-            obs=obs,
-        )
-        session.optimize()
+        with _progress_scope(obs):
+            session = FastTSession(
+                model.builder,
+                topology,
+                batch,
+                perf_model=_perf_model(topology, seed),
+                config=bench_config(),
+                model_name=model.name,
+                obs=obs,
+            )
+            session.optimize()
         if obs is not None and _TRACE_DIR:
             base = os.path.join(
                 _TRACE_DIR,

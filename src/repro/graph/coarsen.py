@@ -242,7 +242,9 @@ def _pack_intervals(
     return packed
 
 
-def contract_graph(graph: Graph, target: int = 256) -> CoarsePlan:
+def contract_graph(
+    graph: Graph, target: int = 256, events=None
+) -> CoarsePlan:
     """Contract ``graph`` into at most roughly ``target`` coarse nodes.
 
     The fine graph is never mutated.  Singleton clusters are rebuilt
@@ -252,13 +254,34 @@ def contract_graph(graph: Graph, target: int = 256) -> CoarsePlan:
     lifted conservatively: clusters touching the same fine colocation
     group share a coarse group, which can over-constrain but never
     violates a fine constraint.
+
+    ``events`` optionally takes an :class:`~repro.obs.events.EventBus`;
+    an enabled bus receives ``coarsen.stage`` events per contraction
+    stage and a ``coarsen.finish`` summary (contraction never changes).
     """
     if target < 1:
         raise ValueError("coarsen target must be >= 1")
+    emit = events is not None and getattr(events, "enabled", False)
     order = graph.topological_order(canonical=True)
     topo_index = {op.name: i for i, op in enumerate(order)}
     _, clusters = _safe_merge(order, graph)
+    if emit:
+        events.emit(
+            "coarsen.stage",
+            stage="merge",
+            graph=graph.name,
+            clusters=len(clusters),
+            ops=len(order),
+        )
     clusters = _pack_intervals(clusters, target)
+    if emit:
+        events.emit(
+            "coarsen.stage",
+            stage="pack",
+            graph=graph.name,
+            clusters=len(clusters),
+            target=target,
+        )
     for c in clusters:
         c.sort(key=lambda o: topo_index[o.name])
 
@@ -372,6 +395,13 @@ def contract_graph(graph: Graph, target: int = 256) -> CoarsePlan:
         for op in cluster:
             op_to_coarse[op.name] = name
 
+    if emit:
+        events.emit(
+            "coarsen.finish",
+            graph=graph.name,
+            original_ops=len(order),
+            coarse_ops=coarse.num_ops,
+        )
     return CoarsePlan(
         fine=graph,
         coarse=coarse,

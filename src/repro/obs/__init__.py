@@ -26,7 +26,7 @@ no-op, so un-observed runs pay essentially nothing::
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from .chrome_trace import (
     TraceValidationError,
@@ -43,6 +43,17 @@ from .exporters import (
     write_metrics_csv,
     write_metrics_json,
     write_rows_csv,
+)
+from .events import (
+    EVENT_SCHEMA_VERSION,
+    NULL_EVENTS,
+    Event,
+    EventBus,
+    EventSchemaError,
+    JsonlEventWriter,
+    NullEventBus,
+    get_events,
+    read_event_log,
 )
 from .metrics import (
     Counter,
@@ -126,13 +137,16 @@ NULL_PROVENANCE = NullProvenance()
 
 
 class Observability:
-    """The ``obs=`` hook: tracer + metrics registry (+ provenance).
+    """The ``obs=`` hook: tracer + metrics registry (+ provenance, events).
 
     ``Observability()`` records spans and metrics; :data:`NULL_OBS` (the
     library default) is the disabled instance whose every instrument is
     a no-op.  ``provenance=True`` additionally journals every DPOS /
-    OS-DPOS decision (see :mod:`repro.obs.provenance`); the default is
-    the shared no-op recorder, so searches pay nothing for it.
+    OS-DPOS decision (see :mod:`repro.obs.provenance`); ``events=True``
+    attaches a live telemetry :class:`~repro.obs.events.EventBus` that
+    engines emit structured progress events onto (see
+    :mod:`repro.obs.events`).  Both default to shared no-ops, so runs
+    pay nothing for what they did not ask for.
     """
 
     def __init__(
@@ -141,6 +155,7 @@ class Observability:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         provenance: bool = False,
+        events: Union[bool, EventBus] = False,
     ) -> None:
         self.enabled = enabled
         if enabled:
@@ -155,6 +170,10 @@ class Observability:
             self.provenance = ProvenanceRecorder()
         else:
             self.provenance = NULL_PROVENANCE
+        if enabled and events:
+            self.events = events if isinstance(events, EventBus) else EventBus()
+        else:
+            self.events = NULL_EVENTS
 
     # ------------------------------------------------------------------
     def export_chrome_trace(self, path: str) -> Optional[str]:
@@ -233,6 +252,26 @@ _CALIBRATION_EXPORTS = (
     "capture_predictions",
 )
 
+#: Run-registry names, lazily re-exported for the same reason
+#: (``python -m repro.obs.runs`` is a CLI entry point).
+_RUNS_EXPORTS = (
+    "MANIFEST_SCHEMA_VERSION",
+    "ManifestSchemaError",
+    "RunManifest",
+    "RunNotFoundError",
+    "RunRecorder",
+    "RunRegistry",
+    "cluster_fingerprint",
+    "config_fingerprints",
+    "default_runs_dir",
+    "graph_fingerprint",
+    "new_run_id",
+    "options_fingerprint",
+)
+
+#: Progress-renderer names (lazy: most runs never render progress).
+_PROGRESS_EXPORTS = ("ProgressRenderer",)
+
 
 def __getattr__(name: str):
     if name in _ANALYZE_EXPORTS:
@@ -247,6 +286,14 @@ def __getattr__(name: str):
         from . import calibration
 
         return getattr(calibration, name)
+    if name in _RUNS_EXPORTS:
+        from . import runs
+
+        return getattr(runs, name)
+    if name in _PROGRESS_EXPORTS:
+        from . import progress
+
+        return getattr(progress, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -257,7 +304,16 @@ def get_obs(obs: Optional[Observability]) -> Observability:
 
 __all__ = list(_ANALYZE_EXPORTS) + list(_PROVENANCE_EXPORTS) + list(
     _CALIBRATION_EXPORTS
-) + [
+) + list(_RUNS_EXPORTS) + list(_PROGRESS_EXPORTS) + [
+    "EVENT_SCHEMA_VERSION",
+    "Event",
+    "EventBus",
+    "EventSchemaError",
+    "JsonlEventWriter",
+    "NULL_EVENTS",
+    "NullEventBus",
+    "get_events",
+    "read_event_log",
     "Counter",
     "Gauge",
     "MetricsRegistry",

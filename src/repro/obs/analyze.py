@@ -1080,14 +1080,20 @@ def _diff_command(args: argparse.Namespace) -> int:
 
 
 def _gate_command(args: argparse.Namespace) -> int:
-    if not os.path.isdir(args.baseline) or not load_gate_summaries(
+    # A missing/empty baseline downgrades the gate to warn-only, but the
+    # comparison still runs (every candidate entry comes out "new") and
+    # the trajectory below is still written — first runs used to return
+    # here early, which is why repos accumulated an empty perf
+    # trajectory: BENCH_<date>.json was never created until a baseline
+    # happened to be restored.
+    first_run = not os.path.isdir(args.baseline) or not load_gate_summaries(
         args.baseline
-    ):
+    )
+    if first_run:
         print(
             f"perf-gate: no baseline summaries under {args.baseline!r}; "
             "treating this as the first run (warn only)"
         )
-        return 0
     report = compare_runs(args.baseline, args.candidate, args.tolerance)
     print(report.render())
     if args.date:
@@ -1102,7 +1108,7 @@ def _gate_command(args: argparse.Namespace) -> int:
         with open(args.json, "w") as handle:
             json.dump(report.to_json(), handle, indent=1)
         print(f"wrote {args.json}")
-    if not report.ok and not args.warn_only:
+    if not report.ok and not (args.warn_only or first_run):
         return 1
     if not report.ok:
         print("perf-gate: regressions found, but --warn-only is set")

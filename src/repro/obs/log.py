@@ -1,0 +1,117 @@
+"""Structured logging for the repro library, with run-id context.
+
+Library code never prints: it logs through ``get_logger(__name__)``
+under the ``repro.`` hierarchy, which is **quiet by default** (a
+``NullHandler`` on the ``repro`` root, nothing propagates anywhere
+visible until someone opts in).  Opting in is one call::
+
+    from repro.obs import log
+    log.configure("info")          # or set REPRO_LOG=info in the env
+
+Every record carries a ``run_id`` attribute (``-`` when no run is
+active).  :mod:`repro.obs.runs` enters :func:`run_id_context` around a
+recorded run, so log lines from anywhere in the engine — search rounds,
+cache hits, gate warnings — are attributable to the run directory they
+belong to.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import logging
+import os
+import sys
+from typing import Iterator, Optional
+
+#: Name of the library's root logger; all module loggers live below it.
+ROOT_LOGGER = "repro"
+
+#: Format used by :func:`configure`; ``%(run_id)s`` is injected by
+#: :class:`RunIdFilter`.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(run_id)s %(name)s: %(message)s"
+
+_run_id_var: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_run_id", default="-"
+)
+_configured = False
+
+
+class RunIdFilter(logging.Filter):
+    """Stamp every record with the active run id (``-`` outside a run).
+
+    Attached to handlers rather than loggers so records emitted by any
+    ``repro.*`` child pick it up regardless of where they originate.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.run_id = _run_id_var.get()
+        return True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro.`` hierarchy.
+
+    Pass ``__name__`` — module paths already start with ``repro.``; any
+    other name is nested beneath the root so :func:`configure` reaches it.
+    """
+    _ensure_null_handler()
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure(
+    level: str = "info", stream: Optional[object] = None
+) -> logging.Handler:
+    """Attach a stderr handler with run-id context to the library root.
+
+    Idempotent in effect: calling again replaces the handler installed by
+    the previous call (so tests can re-point the stream).
+    """
+    global _configured
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_configured", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    handler.addFilter(RunIdFilter())
+    handler._repro_configured = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper(), logging.INFO))
+    _configured = True
+    return handler
+
+
+def set_run_id(run_id: Optional[str]) -> "contextvars.Token[str]":
+    """Set the run id stamped onto subsequent records; returns the token."""
+    return _run_id_var.set(run_id or "-")
+
+
+def current_run_id() -> str:
+    """The run id in effect for this context (``-`` when none)."""
+    return _run_id_var.get()
+
+
+@contextlib.contextmanager
+def run_id_context(run_id: str) -> Iterator[None]:
+    """Scope within which log records carry ``run_id``."""
+    token = _run_id_var.set(run_id)
+    try:
+        yield
+    finally:
+        _run_id_var.reset(token)
+
+
+def _ensure_null_handler() -> None:
+    """Quiet-by-default: swallow records until someone configures output."""
+    global _configured
+    root = logging.getLogger(ROOT_LOGGER)
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+    if not _configured:
+        env_level = os.environ.get("REPRO_LOG")
+        if env_level:
+            configure(env_level)
+        _configured = True

@@ -306,15 +306,43 @@ class _StepState:
         for dev in self.device_names:
             self._dispatch_device(dev, 0.0)
 
+        # Telemetry: stride-sampled heap progress, computed only when a
+        # live event bus is attached so the hot loop stays untouched.
+        telemetry = self.sim.obs.events
+        num_ops = self.graph.num_ops
+        progress_stride = (
+            max(1, num_ops // 16) if telemetry.enabled else 0
+        )
+        last_reported = 0
+
         makespan = 0.0
         while self.events:
             time, _, kind, payload = heapq.heappop(self.events)
             makespan = max(makespan, time)
             if kind == "op_finish":
                 self._on_op_finish(payload, time)  # type: ignore[arg-type]
+                if (
+                    progress_stride
+                    and self.completed - last_reported >= progress_stride
+                ):
+                    last_reported = self.completed
+                    telemetry.emit(
+                        "sim.progress",
+                        graph=self.graph.name,
+                        completed=self.completed,
+                        total=num_ops,
+                        sim_time=time,
+                    )
             else:
                 self._on_transfer_finish(payload, time)  # type: ignore[arg-type]
 
+        if progress_stride:
+            telemetry.emit(
+                "sim.step.finish",
+                graph=self.graph.name,
+                makespan=makespan,
+                ops=self.completed,
+            )
         if self.completed != self.graph.num_ops:
             stuck = [
                 name for name, n in self.deps_remaining.items() if n > 0

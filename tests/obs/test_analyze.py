@@ -372,13 +372,26 @@ class TestCLI:
         assert main(["--diff", a, a]) == 0
         assert "makespan" in capsys.readouterr().out
 
-    def test_gate_missing_baseline_warns_only(self, tmp_path, capsys):
+    def test_gate_missing_baseline_warns_but_writes_trajectory(
+        self, tmp_path, capsys
+    ):
         cand = self._trace_dir(tmp_path, "cand")
+        write_gate_summary(
+            str(cand / "lenet_dpos_2x1.summary.json"),
+            iteration_time=1.0, search_seconds=0.5,
+        )
         code = main([
             "--baseline", str(tmp_path / "nope"), "--candidate", str(cand),
+            "--bench-dir", str(tmp_path), "--date", "20260806",
         ])
         assert code == 0
         assert "first run" in capsys.readouterr().out
+        # The trajectory is written even on the first run: every
+        # candidate metric lands as a status-"new" entry.
+        document = json.loads((tmp_path / "BENCH_20260806.json").read_text())
+        run = document["runs"][-1]
+        assert run["ok"]
+        assert {e["status"] for e in run["entries"]} == {"new"}
 
     def test_gate_regression_exits_nonzero_and_writes_bench(self, tmp_path):
         TestRegressionGate._summaries(tmp_path / "base", 1.0)

@@ -1,0 +1,65 @@
+"""Tests for structured logging with run-id context (``repro.obs.log``)."""
+
+import io
+import logging
+
+from repro.obs import log as obs_log
+
+
+def teardown_function(function):
+    # Drop any handler a test installed so the library goes quiet again.
+    root = logging.getLogger(obs_log.ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_configured", False):
+            root.removeHandler(handler)
+
+
+def test_get_logger_nests_under_repro_root():
+    assert obs_log.get_logger("repro.core.dpos").name == "repro.core.dpos"
+    assert obs_log.get_logger("harness").name == "repro.harness"
+    assert obs_log.get_logger("repro").name == "repro"
+
+
+def test_quiet_by_default():
+    root = logging.getLogger(obs_log.ROOT_LOGGER)
+    obs_log.get_logger("repro.quiet_test")
+    assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+    # Emitting without configure() must not touch the last-resort handler.
+    logger = obs_log.get_logger("repro.quiet_test")
+    logger.info("nobody hears this")  # must not raise or print
+
+
+def test_configure_emits_with_run_id_stamp():
+    stream = io.StringIO()
+    obs_log.configure("debug", stream=stream)
+    logger = obs_log.get_logger("repro.test_log")
+
+    logger.info("outside any run")
+    with obs_log.run_id_context("20260808-000000-abc123"):
+        assert obs_log.current_run_id() == "20260808-000000-abc123"
+        logger.info("inside the run")
+    assert obs_log.current_run_id() == "-"
+
+    lines = stream.getvalue().splitlines()
+    assert " - repro.test_log: outside any run" in lines[0]
+    assert "20260808-000000-abc123" in lines[1]
+
+
+def test_configure_replaces_previous_handler():
+    first = io.StringIO()
+    second = io.StringIO()
+    obs_log.configure("info", stream=first)
+    obs_log.configure("info", stream=second)
+    obs_log.get_logger("repro.test_log").info("hello")
+    assert first.getvalue() == ""
+    assert "hello" in second.getvalue()
+
+
+def test_set_run_id_token_restores():
+    token = obs_log.set_run_id("r1")
+    assert obs_log.current_run_id() == "r1"
+    obs_log._run_id_var.reset(token)
+    assert obs_log.current_run_id() == "-"
+    token = obs_log.set_run_id(None)
+    assert obs_log.current_run_id() == "-"
+    obs_log._run_id_var.reset(token)
