@@ -1,0 +1,130 @@
+"""Strategy service walkthrough: serve, coalesce, cache, warm-start.
+
+Boots the ``repro.serve`` TCP service on a free port, then exercises its
+three answer paths from client connections:
+
+1. two *concurrent identical* requests — the service coalesces them
+   onto one search (one result object, two replies);
+2. the identical request again — answered from the fingerprint-keyed
+   strategy store with no search at all;
+3. the same job with the batch size doubled — a graph-edit near-miss
+   that warm-starts its search from the cached strategy.
+
+The stats endpoint is the source of truth throughout: the script exits
+nonzero unless it observed at least one coalesce, one cache hit, and
+one warm start (this doubles as the CI serve-smoke gate).
+
+    python examples/serve.py [store-dir]
+"""
+
+import asyncio
+import sys
+import threading
+
+from repro.serve import Client, StrategyService, StrategyStore, serve_forever
+
+MODEL = "lenet"
+TOPOLOGY = "pcie:2"
+CONFIG = {
+    "profiling_steps": 1, "max_rounds": 2, "min_rounds": 1,
+    "measure_steps": 1, "search": {"max_candidate_ops": 2},
+}
+
+
+def start_server(store_dir):
+    """Run the asyncio front-end on a background thread; returns the port."""
+    store = (
+        StrategyStore(root=store_dir)
+        if store_dir
+        else StrategyStore(persist=False)
+    )
+    service = StrategyService(store=store, workers=4)
+    bound = {}
+    ready = threading.Event()
+
+    def on_ready(host, port):
+        bound["port"] = port
+        ready.set()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(
+            serve_forever(service, port=0, ready=on_ready)
+        ),
+        daemon=True,
+    )
+    thread.start()
+    if not ready.wait(timeout=30):
+        raise RuntimeError("service did not come up")
+    return bound["port"], thread
+
+
+def main() -> int:
+    store_dir = sys.argv[1] if len(sys.argv) > 1 else None
+    port, thread = start_server(store_dir)
+    print(f"service listening on 127.0.0.1:{port}")
+
+    # -- 1. duplicate pair, in flight together: coalesced ---------------
+    # Coalescing needs the two requests to overlap; on a slow host the
+    # first can finish before the second arrives, so retry the pair on
+    # fresh problems (distinct batch sizes) until one pair overlaps.
+    for attempt in range(5):
+        batch = 64 if attempt == 0 else 64 + 2 * attempt
+        responses = []
+
+        def submit():
+            with Client(port=port) as client:
+                responses.append(client.optimize(
+                    MODEL, TOPOLOGY, global_batch=batch, config=CONFIG
+                ))
+
+        pair = [threading.Thread(target=submit) for _ in range(2)]
+        for t in pair:
+            t.start()
+        for t in pair:
+            t.join()
+        sources = [r["source"] for r in responses]
+        shared = len({r["key"] for r in responses}) == 1
+        print(f"duplicate pair (batch {batch}): sources={sources}, "
+              f"same strategy key: {shared}")
+        with Client(port=port) as probe:
+            if probe.stats()["stats"]["coalesced"]:
+                break
+
+    with Client(port=port) as client:
+        # -- 2. identical repeat: answered from the store ---------------
+        repeat = client.optimize(
+            MODEL, TOPOLOGY, global_batch=64, config=CONFIG
+        )
+        print(f"repeat: source={repeat['source']} "
+              f"(makespan {repeat['makespan'] * 1e3:.3f}ms)")
+
+        # -- 3. edited graph (batch doubled): warm-started search -------
+        edited = client.optimize(
+            MODEL, TOPOLOGY, global_batch=128, config=CONFIG
+        )
+        print(f"edited batch: source={edited['source']} "
+              f"(makespan {edited['makespan'] * 1e3:.3f}ms)")
+
+        stats = client.stats()["stats"]
+        print(f"stats: {stats}")
+        client.shutdown()
+    thread.join(timeout=10)
+
+    failures = []
+    if stats["coalesced"] < 1:
+        failures.append("expected at least one coalesced request")
+    if stats["hits"] < 1:
+        failures.append("expected at least one strategy-store hit")
+    if stats["warm_starts"] < 1:
+        failures.append("expected at least one warm-started search")
+    if repeat["source"] != "cache":
+        failures.append(f"repeat not served from cache: {repeat['source']}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("serve smoke ok: coalesce + cache hit + warm start observed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

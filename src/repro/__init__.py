@@ -60,9 +60,11 @@ from .core import (
     FastTConfig,
     FastTSession,
     OSDPOSResult,
+    SearchContext,
     SearchOptions,
     Strategy,
     StrategyCalculator,
+    WarmStartSeed,
 )
 from .costmodel import CommunicationCostModel, ComputationCostModel
 from .graph import Graph, build_training_graph
@@ -91,11 +93,13 @@ __all__ = [
     "Observability",
     "OptimizeResult",
     "PerfModel",
+    "SearchContext",
     "SearchOptions",
     "SimulationOOMError",
     "Strategy",
     "StrategyCalculator",
     "Topology",
+    "WarmStartSeed",
     "build_training_graph",
     "cluster_for",
     "get_model",

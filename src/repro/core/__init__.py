@@ -6,6 +6,7 @@ from .calculator import (
     RoundRecord,
     StrategyCalculator,
 )
+from .context import SearchContext, WarmStartSeed
 from .dpos import DPOS, DPOSResult
 from .order import complete_order, priorities_from_order
 from .os_dpos import OSDPOS, OSDPOSResult, SearchOptions, default_split_counts
@@ -30,9 +31,11 @@ __all__ = [
     "OSDPOSResult",
     "PlacementError",
     "RoundRecord",
+    "SearchContext",
     "SearchOptions",
     "Strategy",
     "StrategyCalculator",
+    "WarmStartSeed",
     "apply_placement",
     "complete_order",
     "compute_ranks",

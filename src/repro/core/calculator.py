@@ -16,13 +16,14 @@ The calculator owns the loop the paper describes:
 
 from __future__ import annotations
 
+import dataclasses
 import time as _time
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..obs.calibration import CalibrationReport, PredictionSet
+    from ..obs.calibration import CalibrationReport
 
 from ..cluster import Topology
 from ..costmodel import (
@@ -32,9 +33,10 @@ from ..costmodel import (
 )
 from ..graph import Graph
 from ..hardware import PerfModel
-from ..obs import MetricsSnapshot, Observability, get_obs
+from ..obs import MetricsSnapshot, Observability
 from ..profiling import Profiler
 from ..sim import ExecutionSimulator, SimulationOOMError
+from .context import SearchContext
 from .dpos import DPOS
 from .order import complete_order
 from .os_dpos import OSDPOS, SearchOptions
@@ -184,18 +186,40 @@ class CalculationReport:
         )
 
 
+@dataclass
+class _RunState:
+    """State of one ``run()`` invocation (never shared across calls)."""
+
+    #: Surviving ``(graph, default strategy)`` alternatives; infeasible
+    #: ones are dropped after their seed-profiling step.
+    alternatives: List[Tuple[Graph, Strategy]]
+    stability: StabilityMonitor
+    alternatives_profiled: bool = False
+
+
 class StrategyCalculator:
-    """Drives the pre-training loop for one training job."""
+    """Drives the pre-training loop for one training job.
+
+    All mutable per-request state — cost models, perf-model RNG,
+    observability sinks, calibration predictions — lives on a
+    :class:`~repro.core.context.SearchContext`; pass one explicitly (the
+    multi-tenant path, see :mod:`repro.serve`) or let the constructor
+    adopt the given ``topology``/``perf_model``/``config``/``obs`` into
+    a fresh one (the legacy path, byte-identical to the pre-context
+    engine).  One calculator serves one request; concurrent requests
+    each build their own calculator over their own context.
+    """
 
     def __init__(
         self,
         input_graph: Graph,
         initial_strategy: Strategy,
-        topology: Topology,
-        perf_model: PerfModel,
+        topology: Optional[Topology] = None,
+        perf_model: Optional[PerfModel] = None,
         config: Optional[FastTConfig] = None,
         alternative_inputs: Optional[List] = None,
         obs: Optional[Observability] = None,
+        context: Optional[SearchContext] = None,
     ) -> None:
         """``alternative_inputs`` is a list of ``(graph, default strategy)``
         pairs the calculator may deploy instead of ``input_graph`` — e.g.
@@ -205,38 +229,64 @@ class StrategyCalculator:
         profiled once under its default strategy to seed the cost models,
         then competes in every OS-DPOS round on estimated finish time.
         """
+        if context is None:
+            if topology is None or perf_model is None:
+                raise TypeError(
+                    "StrategyCalculator needs either a context= or both "
+                    "topology= and perf_model="
+                )
+            # Pair classes come from the topology's routed link kinds
+            # (the generalization of the old intra/inter split), the
+            # computation model learns heterogeneous device speeds
+            # through the relative compute scales, and the communication
+            # model prices unprofiled pairs from the topology's route
+            # times instead of zero.  Bound methods pickle with their
+            # instance, which the search_workers process pool requires.
+            context = SearchContext.adopt(
+                topology, perf_model, config or FastTConfig(), obs
+            )
+        elif topology is not None or perf_model is not None:
+            raise TypeError(
+                "pass either context= or topology=/perf_model=, not both"
+            )
+        self.context = context
         self.input_graph = input_graph
-        self.topology = topology
-        self.perf_model = perf_model
-        self.config = config or FastTConfig()
-        self.obs = get_obs(obs)
         self.alternative_inputs = list(alternative_inputs or [])
-        self._alternatives_profiled = False
 
-        # Pair classes come from the topology's routed link kinds (the
-        # generalization of the old intra/inter split), the computation
-        # model learns heterogeneous device speeds through the relative
-        # compute scales, and the communication model prices unprofiled
-        # pairs from the topology's route times instead of zero.  Bound
-        # methods pickle with their instance, which the search_workers
-        # process pool requires.
-        self.computation = ComputationCostModel(
-            device_scale=topology.relative_compute_scales()
+        # The initial strategy is normalized into a private copy; the
+        # caller's Strategy object is never written (two requests may
+        # share one).
+        self.initial_strategy = dataclasses.replace(
+            initial_strategy,
+            placement=apply_placement(
+                input_graph, initial_strategy.placement, self.topology
+            ),
         )
-        self.communication = CommunicationCostModel(
-            pair_class=topology.pair_class, topology=topology
-        )
-        self._stability = StabilityMonitor(
-            self.config.stability_tolerance, metrics=self.obs.metrics
-        )
-        #: Decision-time cost-model predictions per computed strategy
-        #: (id(strategy) -> PredictionSet), kept only under provenance.
-        self._predictions: Dict[int, "PredictionSet"] = {}
 
-        initial_strategy.placement = apply_placement(
-            input_graph, initial_strategy.placement, topology
-        )
-        self.initial_strategy = initial_strategy
+    # -- context views (the request-local collaborators) ----------------
+    @property
+    def topology(self) -> Topology:
+        return self.context.topology
+
+    @property
+    def perf_model(self) -> PerfModel:
+        return self.context.perf_model
+
+    @property
+    def config(self) -> FastTConfig:
+        return self.context.config
+
+    @property
+    def obs(self) -> Observability:
+        return self.context.obs
+
+    @property
+    def computation(self) -> ComputationCostModel:
+        return self.context.computation
+
+    @property
+    def communication(self) -> CommunicationCostModel:
+        return self.context.communication
 
     # ------------------------------------------------------------------
     def _profiler_for(self, graph: Graph) -> Profiler:
@@ -261,7 +311,10 @@ class StrategyCalculator:
             return profiler.profile(strategy.placement, num_steps=steps)
 
     def _profile_alternatives(
-        self, report: "CalculationReport", best: Optional[tuple]
+        self,
+        report: "CalculationReport",
+        best: Optional[tuple],
+        state: _RunState,
     ) -> Optional[tuple]:
         """Seed the cost models with one step of each alternative graph.
 
@@ -270,11 +323,11 @@ class StrategyCalculator:
         DAG on a subset of the devices when replication only adds
         synchronization cost.  Returns the updated best-measured tuple.
         """
-        if self._alternatives_profiled:
+        if state.alternatives_profiled:
             return best
-        self._alternatives_profiled = True
+        state.alternatives_profiled = True
         surviving = []
-        for graph, strategy in self.alternative_inputs:
+        for graph, strategy in state.alternatives:
             try:
                 result = self._profile(graph, strategy, 1)
             except SimulationOOMError:
@@ -286,14 +339,19 @@ class StrategyCalculator:
             if best is None or measured < best[2]:
                 best = (strategy, graph, measured)
             surviving.append((graph, strategy))
-        self.alternative_inputs = surviving
+        state.alternatives = surviving
         return best
 
-    def _compute_strategy(self, report: "CalculationReport") -> tuple:
+    def _compute_strategy(
+        self, report: "CalculationReport", state: _RunState
+    ) -> tuple:
         """OS-DPOS over every candidate input graph; keep the best estimate.
 
         Returns ``(strategy, rewritten graph)`` and accumulates the
-        search's candidate counters onto ``report``.
+        search's candidate counters onto ``report``.  When the context
+        carries a :class:`~repro.core.context.WarmStartSeed`, the
+        primary input graph's search replays the seed's partition list
+        instead of walking the critical path cold.
         """
         dpos = DPOS(
             self.topology,
@@ -303,11 +361,18 @@ class StrategyCalculator:
             obs=self.obs,
         )
         search = self.config.search
-        candidates = [self.input_graph] + [g for g, _ in self.alternative_inputs]
+        candidates = [self.input_graph] + [g for g, _ in state.alternatives]
         best: Optional[tuple] = None
         for graph in candidates:
             if search.enable_splitting:
-                result = OSDPOS(dpos, options=search, obs=self.obs).run(graph)
+                warm = (
+                    self.context.warm_start
+                    if graph is self.input_graph
+                    else None
+                )
+                result = OSDPOS(dpos, options=search, obs=self.obs).run(
+                    graph, warm_start=warm
+                )
                 strategy, rewritten = result.strategy, result.graph
                 for key, value in result.metrics.items():
                     report.metrics[key] = report.metrics.get(key, 0) + value
@@ -329,7 +394,7 @@ class StrategyCalculator:
             # measure the models the search actually planned with.
             from ..obs.calibration import capture_predictions
 
-            self._predictions[id(strategy)] = capture_predictions(
+            self.context.predictions[id(strategy)] = capture_predictions(
                 rewritten,
                 strategy.placement,
                 self.computation,
@@ -375,6 +440,10 @@ class StrategyCalculator:
         config = self.config
         tracer = self.obs.tracer
         events = self.obs.events
+        state = _RunState(
+            alternatives=list(self.alternative_inputs),
+            stability=self.context.stability_monitor(),
+        )
         current_strategy = self.initial_strategy
         current_graph = self.input_graph
         report = CalculationReport(strategy=current_strategy, graph=current_graph)
@@ -464,9 +533,9 @@ class StrategyCalculator:
                 report.rounds.append(record)
                 continue
 
-            best = self._profile_alternatives(report, best)
+            best = self._profile_alternatives(report, best, state)
 
-            record.stable = self._stability.update(self.computation.snapshot())
+            record.stable = state.stability.update(self.computation.snapshot())
             if record.stable and round_index + 1 >= config.min_rounds:
                 report.rounds.append(record)
                 if events.enabled:
@@ -484,7 +553,9 @@ class StrategyCalculator:
                 cat="calculator",
                 args={"round": round_index},
             ):
-                candidate, candidate_graph = self._compute_strategy(report)
+                candidate, candidate_graph = self._compute_strategy(
+                    report, state
+                )
             search_seconds = _time.perf_counter() - started
             report.algorithm_seconds += search_seconds
             if events.enabled:
@@ -565,11 +636,13 @@ class StrategyCalculator:
         if report.initial_measured_time == float("inf"):
             report.initial_measured_time = report.measured_time
         if self.obs.provenance.enabled:
-            report.calibration = self._calibrate(report.strategy, report.graph)
+            report.calibration = self._calibrate(
+                report.strategy, report.graph, state.stability
+            )
         return report
 
     def _calibrate(
-        self, strategy: Strategy, graph: Graph
+        self, strategy: Strategy, graph: Graph, stability: StabilityMonitor
     ) -> Optional["CalibrationReport"]:
         """Join decision-time predictions against one realized step.
 
@@ -579,7 +652,7 @@ class StrategyCalculator:
         """
         from ..obs.calibration import calibrate, capture_predictions
 
-        predictions = self._predictions.get(id(strategy))
+        predictions = self.context.predictions.get(id(strategy))
         if predictions is None:
             # The surviving strategy never went through the search (the
             # initial/default strategy won): capture post-hoc against the
@@ -608,6 +681,6 @@ class StrategyCalculator:
         return calibrate(
             predictions,
             result.traces[-1],
-            drift=self._stability.last_drift,
-            drift_tolerance=self._stability.tolerance,
+            drift=stability.last_drift,
+            drift_tolerance=stability.tolerance,
         )

@@ -48,6 +48,7 @@ from ..graph.rewrite import (
     sub_op_names,
 )
 from ..obs import MetricsSnapshot, Observability, get_obs
+from .context import WarmStartSeed
 from .dpos import DPOS, DPOSResult
 from .ranks import compute_ranks, critical_path
 from .strategy import Strategy
@@ -360,11 +361,23 @@ class OSDPOS:
         self.coarsen_target = int(coarsen_target)  # type: ignore[call-overload]
 
     # ------------------------------------------------------------------
-    def run(self, graph: Graph) -> OSDPOSResult:
+    def run(
+        self,
+        graph: Graph,
+        *,
+        warm_start: Optional[WarmStartSeed] = None,
+    ) -> OSDPOSResult:
         """Compute split list, placement, and order for ``graph``.
 
         ``graph`` itself is never mutated; the search works on a private
-        copy.  All evaluation modes return identical strategies.
+        copy.  All cold evaluation modes return identical strategies.
+
+        ``warm_start`` replays a cached strategy's partition list
+        through :class:`~repro.graph.SplitTransaction` and schedules the
+        result with one DPOS pass instead of walking the critical path —
+        the incremental-re-optimization path of :mod:`repro.serve`.  A
+        safety valve falls back to the cold search when the replayed
+        schedule lands above the seed's reference makespan envelope.
         """
         obs = self.obs
         use_coarse = (
@@ -372,7 +385,9 @@ class OSDPOS:
             if self.coarsen != "auto"
             else graph.num_ops >= self.coarsen_threshold
         )
-        if use_coarse:
+        if warm_start is not None:
+            mode = "warm"
+        elif use_coarse:
             mode = "coarse"
         else:
             mode = "naive" if self.naive else "incremental"
@@ -393,7 +408,9 @@ class OSDPOS:
                 "mode": mode,
             },
         ):
-            if use_coarse:
+            if warm_start is not None:
+                result = self._run_warm(graph, search, warm_start)
+            elif use_coarse:
                 result = self._run_coarse(graph, search)
             elif self.naive:
                 result = self._run_naive(graph, search)
@@ -779,6 +796,100 @@ class OSDPOS:
             ranks=ranks,
             decisions=coarse.decisions,
         )
+
+    # ------------------------------------------------------------------
+    # Warm path: replay a cached partition list, schedule once
+    # ------------------------------------------------------------------
+    def _run_warm(
+        self, graph: Graph, search, seed: WarmStartSeed
+    ) -> OSDPOSResult:
+        """Seed the search from a cached strategy (Alg. 2 skipped).
+
+        Each :class:`SplitDecision` of the seed is replayed onto a
+        working copy through the transactional rewrite machinery —
+        decisions whose op vanished from the edited graph, or whose
+        dimension can no longer accommodate the split count, are
+        skipped rather than failing the request.  One DPOS pass then
+        prices the replayed partition list on this graph.  The result
+        costs O(splits + one placement) instead of a full critical-path
+        walk; the safety valve below reverts to the cold search when
+        the replay is evidently a bad fit.
+        """
+        obs = self.obs
+        working = graph.copy()
+        devices = self.dpos.topology.device_names
+        applied: List[SplitDecision] = []
+        skipped = 0
+        # An options bundle with splitting disabled never replays splits
+        # (the fingerprint the seed was cached under implies it had them
+        # enabled, but a mismatched caller must still get what its own
+        # options promise).
+        decisions = seed.split_list if self.split_counts else []
+        for decision in decisions:
+            if decision.op_name not in working:
+                skipped += 1
+                continue
+            op = working.get_op(decision.op_name)
+            if not op.is_splittable:
+                skipped += 1
+                continue
+            txn = SplitTransaction(
+                working, op, decision.dim, decision.num_splits
+            )
+            try:
+                txn.apply()
+            except SplitError:
+                skipped += 1
+                continue
+            txn.commit()
+            applied.append(decision)
+        cache = CostCache(
+            working, self.dpos.computation, self.dpos.communication, devices
+        )
+        if obs.enabled:
+            cache.enable_stats()
+        best = self.dpos.run(working, cost_cache=cache)
+        search.record_initial(best.finish_time)
+
+        reference = seed.reference_makespan
+        if (
+            reference is not None
+            and reference > 0.0
+            and best.finish_time > seed.safety_factor * reference
+        ):
+            # Safety valve: the cached strategy evidently no longer fits
+            # this graph (the edit moved the bottleneck); pay for a cold
+            # search rather than serve a degenerate schedule.
+            if obs.events.enabled:
+                obs.events.emit(
+                    "search.warm.fallback",
+                    graph=graph.name,
+                    makespan=best.finish_time,
+                    reference=reference,
+                    factor=seed.safety_factor,
+                    source=seed.source,
+                )
+            result = self._run_incremental(graph, search)
+            result.metrics["search.warm_fallbacks"] = 1
+            return result
+
+        if obs.events.enabled:
+            obs.events.emit(
+                "search.warm",
+                graph=graph.name,
+                applied=len(applied),
+                skipped=skipped,
+                makespan=best.finish_time,
+                source=seed.source,
+            )
+        result = self._package(
+            working, best, applied, 0, 0, 0, cache=cache, search=search
+        )
+        result.strategy.label = "warm-start"
+        result.metrics["search.warm_runs"] = 1
+        result.metrics["search.warm_splits_applied"] = len(applied)
+        result.metrics["search.warm_splits_skipped"] = skipped
+        return result
 
     # ------------------------------------------------------------------
     # Incremental path: one working graph, transactional candidates

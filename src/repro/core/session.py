@@ -17,6 +17,7 @@ checkpoint/restart, and then "trains" under the surviving strategy.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional
 
 from ..cluster import Topology
@@ -32,6 +33,7 @@ from ..obs import Observability, get_obs
 from ..profiling import StepTrace
 from ..sim import ExecutionSimulator, SimulationOOMError
 from .calculator import CalculationReport, FastTConfig, StrategyCalculator
+from .context import SearchContext, WarmStartSeed
 from .order import complete_order
 from .placer import model_parallel_placement
 from .strategy import Strategy
@@ -90,6 +92,7 @@ class FastTSession:
                 alternatives=len(self.alternative_inputs),
             )
         self._report: Optional[CalculationReport] = None
+        self._report_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _prepare_input(self) -> tuple:
@@ -154,20 +157,68 @@ class FastTSession:
         )
 
     # ------------------------------------------------------------------
-    def optimize(self, force: bool = False) -> CalculationReport:
-        """Run (or return the cached) pre-training stage."""
-        if self._report is None or force:
-            calculator = StrategyCalculator(
+    def new_context(
+        self,
+        obs: Optional[Observability] = None,
+        warm_start: Optional[WarmStartSeed] = None,
+    ) -> SearchContext:
+        """A fresh per-request :class:`SearchContext` for this job.
+
+        The context replicates the session's perf model (same seed, own
+        RNG stream) and starts with empty cost models, so N contexts run
+        concurrently without sharing any mutable state — and produce the
+        same strategies whether they run serially or in parallel.
+        """
+        return SearchContext.create(
+            self.topology,
+            perf_model=self.perf_model,
+            config=self.config,
+            obs=obs if obs is not None else self.obs,
+            warm_start=warm_start,
+        )
+
+    def optimize(
+        self,
+        force: bool = False,
+        context: Optional[SearchContext] = None,
+    ) -> CalculationReport:
+        """Run (or return the cached) pre-training stage.
+
+        Without ``context`` this is the legacy single-tenant path: one
+        memoized run over the session's own perf model and freshly
+        adopted cost models (byte-identical to the pre-context engine).
+        With an explicit ``context`` (see :meth:`new_context`) the run
+        uses *only* that context's state, is safe to invoke from
+        multiple threads on distinct contexts, and always executes —
+        repeat-request caching is the strategy store's job
+        (:mod:`repro.serve`), not the session's.
+        """
+        if context is not None:
+            report = StrategyCalculator(
                 self.input_graph,
                 self.initial_strategy,
-                self.topology,
-                self.perf_model,
-                config=self.config,
                 alternative_inputs=self.alternative_inputs,
-                obs=self.obs,
-            )
-            self._report = calculator.run()
-        return self._report
+                context=context,
+            ).run()
+            with self._report_lock:
+                if self._report is None:
+                    # Adopt the result so session.run()/strategy work
+                    # after a context-driven optimize.
+                    self._report = report
+            return report
+        with self._report_lock:
+            if self._report is None or force:
+                calculator = StrategyCalculator(
+                    self.input_graph,
+                    self.initial_strategy,
+                    self.topology,
+                    self.perf_model,
+                    config=self.config,
+                    alternative_inputs=self.alternative_inputs,
+                    obs=self.obs,
+                )
+                self._report = calculator.run()
+            return self._report
 
     @property
     def strategy(self) -> Strategy:

@@ -9,6 +9,7 @@ available bandwidth and congestion along each device-device path.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -81,6 +82,25 @@ class CommunicationCostModel:
         self._global: Optional[_LinearModel] = None
         self._global_dirty = False
         self._max_samples = max_samples_per_pair
+        # Queries lazily refit behind dirty flags, so even read paths
+        # mutate the model; a reentrant lock makes one shared model safe
+        # for concurrent service requests (fits are tiny — a few dozen
+        # samples — so the critical sections stay short).
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Locks don't pickle; the model otherwise does (bound methods of
+        # the shared cost models travel into worker processes via the
+        # experiment harness).  Flush pending refits so the copy starts
+        # from a consistent snapshot.
+        with self._lock:
+            state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def observe(self, src: str, dst: str, num_bytes: int, duration: float) -> None:
@@ -89,31 +109,34 @@ class CommunicationCostModel:
             return
         pair = (src, dst)
         sample = (float(num_bytes), float(duration))
-        samples = self._samples.setdefault(pair, [])
-        samples.append(sample)
-        if len(samples) > self._max_samples:
-            del samples[: len(samples) - self._max_samples]
-        self._dirty[pair] = True
-        self._global_dirty = True
-        if self._pair_class is not None:
-            key = self._pair_class(src, dst)
-            class_samples = self._class_samples.setdefault(key, [])
-            class_samples.append(sample)
-            if len(class_samples) > 4 * self._max_samples:
-                del class_samples[: len(class_samples) - 4 * self._max_samples]
-            self._class_dirty[key] = True
+        with self._lock:
+            samples = self._samples.setdefault(pair, [])
+            samples.append(sample)
+            if len(samples) > self._max_samples:
+                del samples[: len(samples) - self._max_samples]
+            self._dirty[pair] = True
+            self._global_dirty = True
+            if self._pair_class is not None:
+                key = self._pair_class(src, dst)
+                class_samples = self._class_samples.setdefault(key, [])
+                if len(class_samples) >= 4 * self._max_samples:
+                    del class_samples[: len(class_samples) - 4 * self._max_samples + 1]
+                class_samples.append(sample)
+                self._class_dirty[key] = True
 
     def _fit(self, pair: Pair) -> Optional[_LinearModel]:
-        if self._dirty.get(pair):
-            self._models[pair] = _fit_samples(self._samples[pair])
-            self._dirty[pair] = False
-        return self._models.get(pair)
+        with self._lock:
+            if self._dirty.get(pair):
+                self._models[pair] = _fit_samples(self._samples[pair])
+                self._dirty[pair] = False
+            return self._models.get(pair)
 
     def _fit_class(self, key: str) -> Optional[_LinearModel]:
-        if self._class_dirty.get(key):
-            self._class_models[key] = _fit_samples(self._class_samples[key])
-            self._class_dirty[key] = False
-        return self._class_models.get(key)
+        with self._lock:
+            if self._class_dirty.get(key):
+                self._class_models[key] = _fit_samples(self._class_samples[key])
+                self._class_dirty[key] = False
+            return self._class_models.get(key)
 
     # ------------------------------------------------------------------
     def known(self, src: str, dst: str) -> bool:
@@ -157,19 +180,20 @@ class CommunicationCostModel:
         the search hot path; now the fit reruns only after new
         observations arrive.
         """
-        if self._global_dirty:
-            all_samples = [
-                s for samples in self._samples.values() for s in samples
-            ]
-            if not all_samples:
-                self._global = None
-            else:
-                xs = np.array([s[0] for s in all_samples])
-                ys = np.array([s[1] for s in all_samples])
-                rate = float(ys.sum() / xs.sum()) if float(xs.sum()) > 0 else 0.0
-                self._global = _LinearModel(rate, 0.0)
-            self._global_dirty = False
-        return self._global
+        with self._lock:
+            if self._global_dirty:
+                all_samples = [
+                    s for samples in self._samples.values() for s in samples
+                ]
+                if not all_samples:
+                    self._global = None
+                else:
+                    xs = np.array([s[0] for s in all_samples])
+                    ys = np.array([s[1] for s in all_samples])
+                    rate = float(ys.sum() / xs.sum()) if float(xs.sum()) > 0 else 0.0
+                    self._global = _LinearModel(rate, 0.0)
+                self._global_dirty = False
+            return self._global
 
     def max_time(self, num_bytes: int, pairs: Iterable[Pair]) -> float:
         """``c_ij`` of the rank computation: worst case over device pairs."""

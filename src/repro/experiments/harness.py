@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
-import hashlib
 import json
 import os
 from dataclasses import dataclass, field
@@ -284,11 +283,16 @@ def cached_trial(key: Dict[str, object], fn: Callable[[], TrialResult]) -> Trial
     The digest covers both the caller's key and
     :data:`CACHE_SCHEMA_VERSION`; a stored file whose recorded schema
     disagrees (including pre-versioning files) is deleted and recomputed.
+
+    The digest comes from :func:`repro.serve.store.request_fingerprint`
+    — the same convention keying the strategy store and the service's
+    request coalescing, so one cache identity means the same trial
+    everywhere (and its byte layout matches this function's original
+    inline digest, preserving pre-existing cache entries).
     """
-    digest = hashlib.sha256(
-        json.dumps({"schema": CACHE_SCHEMA_VERSION, "key": key},
-                   sort_keys=True).encode()
-    ).hexdigest()[:24]
+    from ..serve.store import request_fingerprint
+
+    digest = request_fingerprint(key, CACHE_SCHEMA_VERSION)
     path = os.path.join(_cache_dir(), f"{digest}.json")
     if os.path.exists(path):
         try:

@@ -29,6 +29,12 @@ from .coarsen import (
     SuperComputationModel,
     contract_graph,
 )
+from .delta import (
+    GraphDelta,
+    diff_graphs,
+    diff_signatures,
+    graph_signature,
+)
 from .rewrite import (
     SplitDecision,
     SplitError,
@@ -54,6 +60,7 @@ __all__ = [
     "CoarsePlan",
     "DTYPE_SIZES",
     "Graph",
+    "GraphDelta",
     "GraphError",
     "ModelBuilder",
     "ReplicatedGraphInfo",
@@ -66,6 +73,9 @@ __all__ = [
     "build_single_device_training_graph",
     "contract_graph",
     "data_parallel_placement",
+    "diff_graphs",
+    "diff_signatures",
+    "graph_signature",
     "prune_dangling",
     "replica_index_of",
     "replica_prefix",

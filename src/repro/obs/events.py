@@ -40,6 +40,7 @@ Event kinds are dotted names.  The stable vocabulary:
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -110,24 +111,46 @@ class EventBus:
         self._subscribers: List[Subscriber] = []
         self._seq = 0
         self._epoch = time.time()
+        # Emission is serialized: ``seq`` must stay strictly increasing
+        # and unique even when concurrent service requests share one bus
+        # (duplicate seqs would make a persisted log unreadable — see
+        # read_event_log's duplicate check).
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Locks don't pickle; process-parallel search workers receive a
+        # copy of the bus (via DPOS.obs) and re-arm a fresh lock on
+        # their side.  Seq/epoch travel so worker-side emissions stay
+        # well-formed, though workers normally run un-subscribed.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def subscribe(self, subscriber: Subscriber) -> Subscriber:
         """Register a callback; returns it (decorator-friendly)."""
-        self._subscribers.append(subscriber)
+        with self._lock:
+            self._subscribers.append(subscriber)
         return subscriber
 
     def unsubscribe(self, subscriber: Subscriber) -> None:
         """Remove a callback; unknown subscribers are ignored."""
-        try:
-            self._subscribers.remove(subscriber)
-        except ValueError:
-            pass
+        with self._lock:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass
 
     def emit(self, kind: str, **data: object) -> None:
         """Deliver one event to every subscriber, in order."""
-        self._seq += 1
-        event = Event(self._seq, time.time() - self._epoch, kind, data)
-        for subscriber in self._subscribers:
+        with self._lock:
+            self._seq += 1
+            event = Event(self._seq, time.time() - self._epoch, kind, data)
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
             subscriber(event)
 
     @property

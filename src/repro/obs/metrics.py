@@ -13,14 +13,24 @@ Metric names are dotted paths (``search.candidates_evaluated``,
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Iterator, Optional, Union
 
 Number = Union[int, float]
 
+#: One lock shared by every metric update.  Read-modify-write on a
+#: Python int (``value += n``) is not atomic across threads; with the
+#: strategy service running N requests concurrently against one
+#: registry, unguarded increments lose counts.  Metric updates sit at
+#: round/search boundaries, never in per-op hot loops, so one
+#: uncontended shared lock costs nothing measurable
+#: (``tests/obs/test_run_overhead.py`` still pins the disabled path).
+_METRICS_LOCK = threading.Lock()
+
 
 class Counter:
-    """Monotonically increasing integer metric."""
+    """Monotonically increasing integer metric (thread-safe)."""
 
     __slots__ = ("name", "value")
 
@@ -29,14 +39,15 @@ class Counter:
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with _METRICS_LOCK:
+            self.value += amount
 
     # ``add`` reads better when folding in a batch total.
     add = inc
 
 
 class Gauge:
-    """Last-write-wins numeric metric."""
+    """Last-write-wins numeric metric (thread-safe)."""
 
     __slots__ = ("name", "value")
 
@@ -48,7 +59,8 @@ class Gauge:
         self.value = value
 
     def inc(self, amount: Number = 1) -> None:
-        self.value += amount
+        with _METRICS_LOCK:
+            self.value += amount
 
 
 class Timer:
@@ -67,8 +79,9 @@ class Timer:
         self._started: Optional[float] = None
 
     def add(self, seconds: float, count: int = 1) -> None:
-        self.seconds += seconds
-        self.count += count
+        with _METRICS_LOCK:
+            self.seconds += seconds
+            self.count += count
 
     def __enter__(self) -> "Timer":
         self._started = time.perf_counter()

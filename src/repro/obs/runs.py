@@ -487,6 +487,10 @@ def _render_manifest(registry: RunRegistry, manifest: RunManifest) -> str:
         lines.append(f"error      {manifest.error}")
     if manifest.fingerprints:
         fp = manifest.fingerprints
+        # The combined fingerprint is the run's configuration identity —
+        # the strategy-store cache key (repro.serve) and the ``list
+        # --fingerprint`` filter both match on it, so show it in full.
+        lines.append(f"identity   {fp.get('combined', '?') or '?'}")
         lines.append(
             "config     graph=%s cluster=%s options=%s"
             % tuple(
@@ -522,23 +526,48 @@ def _render_manifest(registry: RunRegistry, manifest: RunManifest) -> str:
     return "\n".join(lines)
 
 
-def _list_command(registry: RunRegistry) -> int:
+def _matches_fingerprint(manifest: RunManifest, prefix: str) -> bool:
+    """Does any of the run's fingerprints start with ``prefix``?
+
+    Matches the combined identity as well as the per-axis hashes, so
+    ``list --fingerprint <graph hash>`` finds every run over one model
+    regardless of cluster, and ``--fingerprint <combined>`` finds exact
+    problem repeats (the runs a strategy-store hit would answer for).
+    """
+    return any(
+        value and value.startswith(prefix)
+        for value in manifest.fingerprints.values()
+    )
+
+
+def _list_command(
+    registry: RunRegistry, fingerprint: Optional[str] = None
+) -> int:
     manifests = registry.list_runs()
+    if fingerprint:
+        manifests = [
+            m for m in manifests if _matches_fingerprint(m, fingerprint)
+        ]
     if not manifests:
-        print(f"no runs under {registry.root}")
+        if fingerprint:
+            print(f"no runs matching fingerprint {fingerprint!r} "
+                  f"under {registry.root}")
+        else:
+            print(f"no runs under {registry.root}")
         return 0
     print(f"{'RUN':<24} {'CREATED':<20} {'MODEL':<14} "
-          f"{'DEV':>3} {'STATUS':<10} {'MAKESPAN':>12}")
+          f"{'DEV':>3} {'STATUS':<10} {'MAKESPAN':>12} {'IDENTITY':<12}")
     for manifest in manifests:
         makespan = (
             f"{manifest.makespan * 1e3:.3f}ms"
             if manifest.makespan is not None
             else "-"
         )
+        identity = (manifest.fingerprints.get("combined") or "-")[:12]
         print(
             f"{manifest.run_id:<24} {manifest.created_at:<20} "
             f"{manifest.model[:14]:<14} {manifest.devices:>3} "
-            f"{manifest.status:<10} {makespan:>12}"
+            f"{manifest.status:<10} {makespan:>12} {identity:<12}"
         )
     return 0
 
@@ -623,7 +652,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=f"registry root (default ${RUNS_DIR_ENV} or ~/.repro/runs)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
-    commands.add_parser("list", help="table of recorded runs")
+    list_cmd = commands.add_parser("list", help="table of recorded runs")
+    list_cmd.add_argument(
+        "--fingerprint",
+        default=None,
+        metavar="HASH",
+        help="only runs whose graph/cluster/options/combined fingerprint "
+             "starts with HASH",
+    )
     show = commands.add_parser("show", help="render one run's manifest")
     show.add_argument("run_id", help="run id or unique prefix")
     show.add_argument("--json", action="store_true", dest="as_json")
@@ -643,7 +679,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     registry = RunRegistry(args.runs_dir)
     try:
         if args.command == "list":
-            return _list_command(registry)
+            return _list_command(registry, args.fingerprint)
         if args.command == "show":
             return _show_command(registry, args.run_id, args.as_json)
         if args.command == "diff":

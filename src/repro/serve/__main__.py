@@ -1,0 +1,116 @@
+"""CLI for the strategy service: ``python -m repro.serve <command>``.
+
+Commands::
+
+    serve   [--host H] [--port P] [--workers N] [--store DIR]
+            [--capacity N] [--no-persist]
+        Run the TCP service until a client sends shutdown.  Prints
+        ``listening on HOST:PORT`` once bound (port 0 picks a free
+        port — parse this line to learn which).
+
+    submit  MODEL TOPOLOGY [--batch B] [--port P] [--host H]
+        Send one optimize request and print the response JSON.
+
+    stats   [--port P] [--host H]     Print the service's counters.
+    status  [--port P] [--host H]     Print the service's status.
+    ping    [--port P] [--host H]     Liveness check (exit 0/1).
+    shutdown [--port P] [--host H]    Stop a running service.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from .client import Client, ServiceError
+from .service import StrategyService, serve_forever
+from .store import StrategyStore
+
+DEFAULT_PORT = 7421
+
+
+def _add_endpoint(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+
+
+def _client(args: argparse.Namespace) -> Client:
+    return Client(args.host, args.port)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="FastT strategy service",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve_cmd = commands.add_parser("serve", help="run the TCP service")
+    _add_endpoint(serve_cmd)
+    serve_cmd.add_argument("--workers", type=int, default=2)
+    serve_cmd.add_argument(
+        "--store", default=None,
+        help="strategy-store directory (default: <runs root>/strategies)",
+    )
+    serve_cmd.add_argument("--capacity", type=int, default=64)
+    serve_cmd.add_argument(
+        "--no-persist", action="store_true",
+        help="keep the store in memory only",
+    )
+
+    submit_cmd = commands.add_parser("submit", help="send one request")
+    submit_cmd.add_argument("model")
+    submit_cmd.add_argument("topology")
+    submit_cmd.add_argument("--batch", type=int, default=None)
+    _add_endpoint(submit_cmd)
+
+    for name, help_text in (
+        ("stats", "print service counters"),
+        ("status", "print service status"),
+        ("ping", "liveness check"),
+        ("shutdown", "stop a running service"),
+    ):
+        _add_endpoint(commands.add_parser(name, help=help_text))
+
+    args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        store = StrategyStore(
+            root=args.store, capacity=args.capacity,
+            persist=not args.no_persist,
+        )
+        service = StrategyService(store=store, workers=args.workers)
+
+        def ready(host: str, port: int) -> None:
+            print(f"listening on {host}:{port}", flush=True)
+
+        asyncio.run(serve_forever(service, args.host, args.port, ready=ready))
+        return 0
+
+    try:
+        with _client(args) as client:
+            if args.command == "submit":
+                response = client.optimize(
+                    args.model, args.topology, global_batch=args.batch
+                )
+            elif args.command == "stats":
+                response = client.stats()
+            elif args.command == "status":
+                response = client.status()
+            elif args.command == "ping":
+                return 0 if client.ping() else 1
+            else:
+                client.shutdown()
+                response = {"status": "ok", "stopping": True}
+            json.dump(response, sys.stdout, indent=2)
+            print()
+    except (ConnectionError, ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

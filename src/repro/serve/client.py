@@ -1,0 +1,96 @@
+"""Blocking TCP client for the strategy service.
+
+Speaks the service's one-JSON-document-per-line protocol over a single
+persistent connection::
+
+    from repro.serve import Client
+
+    with Client(port=7421) as client:
+        response = client.optimize("lenet", "pcie:2")
+        print(response["source"], response["makespan"])
+        print(client.stats()["stats"]["hits"])
+
+The client is thread-safe (one request at a time over the shared
+socket); for concurrent requests use one client per thread — the
+*service* interleaves and coalesces them.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Dict, Optional
+
+
+class ServiceError(RuntimeError):
+    """The service answered with ``status: error``."""
+
+
+class Client:
+    """Synchronous connection to one :class:`~repro.serve.StrategyService`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7421, timeout: float = 300.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _call(self, message: Dict[str, object]) -> Dict[str, object]:
+        with self._lock:
+            self._file.write(json.dumps(message).encode() + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        if not line:
+            raise ServiceError("service closed the connection")
+        response = json.loads(line)
+        if response.get("status") == "error":
+            raise ServiceError(response.get("error", "unknown service error"))
+        return response
+
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        model: str,
+        topology: object,
+        *,
+        global_batch: Optional[int] = None,
+        config: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Request a strategy; returns the service's response document."""
+        request: Dict[str, object] = {"model": model, "topology": topology}
+        if global_batch is not None:
+            request["global_batch"] = global_batch
+        if config is not None:
+            request["config"] = config
+        return self._call({"op": "optimize", "request": request})
+
+    def stats(self) -> Dict[str, object]:
+        return self._call({"op": "stats"})
+
+    def status(self) -> Dict[str, object]:
+        return self._call({"op": "status"})
+
+    def ping(self) -> bool:
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    def shutdown(self) -> None:
+        """Ask the service to stop accepting work and exit."""
+        self._call({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,459 @@
+"""The multi-tenant strategy service.
+
+:class:`StrategyService` answers *optimization requests* — "find a
+deployment strategy for model M on cluster C at batch B" — from one
+process, concurrently, with three progressively cheaper paths:
+
+1. **Cache hit** — the request's combined config fingerprint matches a
+   :class:`~repro.serve.store.StoredStrategy`; answer without searching.
+2. **Warm start** — a stored entry for the same cluster/options is a
+   small graph edit away (:mod:`repro.graph.delta`); seed OS-DPOS from
+   its split list (:class:`~repro.core.WarmStartSeed`) and let the
+   engine's safety valve fall back to cold search if the seed misleads.
+3. **Cold search** — the full reentrant pipeline on a fresh
+   :class:`~repro.core.SearchContext`.
+
+Identical requests *in flight* are **coalesced**: the second caller
+blocks on the first's future instead of spawning a duplicate search.
+
+The service core is synchronous and thread-safe (workers are plain
+threads; reentrancy comes from per-request contexts).  The asyncio TCP
+front-end lives in :func:`serve_forever` / ``python -m repro.serve``;
+in-process callers use :meth:`StrategyService.submit` directly.
+
+Every decision is observable: ``serve.request`` / ``serve.hit`` /
+``serve.miss`` / ``serve.coalesce`` / ``serve.warm`` /
+``serve.complete`` events on the service's bus, and a :meth:`stats`
+snapshot (the CI smoke gate's source of truth).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Tuple
+
+from ..cluster import Topology, topology_from
+from ..core.calculator import FastTConfig
+from ..core.context import SearchContext, WarmStartSeed
+from ..core.os_dpos import SearchOptions
+from ..graph.delta import graph_signature
+from ..obs.events import EventBus
+from ..obs import log as obs_log
+from .store import (
+    STORE_SCHEMA_VERSION,
+    StoredStrategy,
+    StrategyStore,
+    request_fingerprint,
+)
+
+_logger = obs_log.get_logger(__name__)
+
+#: Fields a request's ``config``/``config.search`` override may set.
+#: Everything else in FastTConfig is service policy, not tenant input.
+_CONFIG_FIELDS = frozenset(
+    f for f in FastTConfig.__dataclass_fields__ if f != "search"
+)
+_SEARCH_FIELDS = frozenset(SearchOptions.__dataclass_fields__)
+
+
+class RequestError(ValueError):
+    """A malformed or unserviceable optimization request."""
+
+
+def normalize_request(request: Dict[str, object]) -> Dict[str, object]:
+    """Canonical JSON document of one request (the coalescing identity).
+
+    Two requests coalesce iff their normalized documents are equal:
+    model name, topology (preset string or cluster-spec dict), batch,
+    and config overrides, with defaults made explicit where cheap.
+    """
+    if not isinstance(request, dict):
+        raise RequestError(f"request must be an object, got {type(request).__name__}")
+    model = request.get("model")
+    if not isinstance(model, str) or not model:
+        raise RequestError("request needs a model-zoo name under 'model'")
+    topology = request.get("topology")
+    if isinstance(topology, Topology):
+        topology = topology.spec.to_dict()
+    if not isinstance(topology, (str, dict)) or not topology:
+        raise RequestError(
+            "request needs a topology preset string or cluster-spec "
+            "dict under 'topology'"
+        )
+    document: Dict[str, object] = {"model": model, "topology": topology}
+    if request.get("global_batch") is not None:
+        document["global_batch"] = int(request["global_batch"])  # type: ignore[arg-type]
+    config = request.get("config") or {}
+    if not isinstance(config, dict):
+        raise RequestError("'config' must be an object of FastTConfig overrides")
+    overrides: Dict[str, object] = {}
+    for key, value in sorted(config.items()):
+        if key == "search":
+            if not isinstance(value, dict):
+                raise RequestError("'config.search' must be an object")
+            unknown = set(value) - _SEARCH_FIELDS
+            if unknown:
+                raise RequestError(
+                    f"unknown search option(s): {sorted(unknown)}"
+                )
+            overrides["search"] = {k: value[k] for k in sorted(value)}
+        elif key in _CONFIG_FIELDS:
+            overrides[key] = value
+        else:
+            raise RequestError(f"unknown config option: {key!r}")
+    if overrides:
+        document["config"] = overrides
+    return document
+
+
+def _build_config(base: FastTConfig, overrides: Dict[str, object]) -> FastTConfig:
+    search_overrides = overrides.get("search")
+    config = replace(
+        base, **{k: v for k, v in overrides.items() if k != "search"}
+    )
+    if search_overrides:
+        config = replace(config, search=replace(config.search, **search_overrides))
+    return config
+
+
+@dataclass
+class ServiceStats:
+    """Counter snapshot (all monotonic since service start)."""
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    searches: int = 0
+    warm_starts: int = 0
+    warm_fallbacks: int = 0
+    evictions: int = 0
+    errors: int = 0
+
+    def to_json(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class StrategyService:
+    """Thread-safe strategy server over one :class:`StrategyStore`.
+
+    Args:
+        store: Answer cache; defaults to a persistent store under the
+            run-registry root.
+        config: Service-wide :class:`FastTConfig` baseline; per-request
+            ``config`` overrides are applied on top.
+        workers: Size of the search worker pool used by the async
+            front-end (``submit`` itself runs in the caller's thread).
+        events: Event bus receiving ``serve.*`` telemetry; a private
+            enabled bus is created when omitted so subscribers (stats
+            endpoints, tests) can always attach.
+        warm_ratio: Structural-edit ceiling for warm-start matching
+            (see :meth:`~repro.graph.delta.GraphDelta.is_warm_startable`).
+    """
+
+    def __init__(
+        self,
+        store: Optional[StrategyStore] = None,
+        config: Optional[FastTConfig] = None,
+        workers: int = 2,
+        events: Optional[EventBus] = None,
+        warm_ratio: Optional[float] = None,
+    ) -> None:
+        self.events = events if events is not None else EventBus()
+        self.store = store if store is not None else StrategyStore(
+            events=self.events
+        )
+        if self.store.events is not self.events and not self.store.events.enabled:
+            self.store.events = self.events
+        self.config = config or FastTConfig()
+        self.workers = max(1, int(workers))
+        self.warm_ratio = warm_ratio
+        self.stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+        self._inflight_lock = threading.Lock()
+        self._started = False
+        if self.events.enabled:
+            self.events.subscribe(self._on_event)
+
+    # -- telemetry ------------------------------------------------------
+    def _on_event(self, event) -> None:
+        if event.kind == "serve.evict":
+            with self._stats_lock:
+                self.stats.evictions += 1
+
+    def _bump(self, field: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self.stats, field, getattr(self.stats, field) + amount)
+
+    # -- the three answer paths ----------------------------------------
+    def submit(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Answer one request (blocking; coalesces with identical peers).
+
+        Returns a JSON-serializable response document with ``source``
+        one of ``"cache"``, ``"warm"``, ``"search"`` — or ``"coalesced"``
+        wrapping the leader's source.
+        """
+        document = normalize_request(request)
+        request_key = request_fingerprint(document, STORE_SCHEMA_VERSION)
+        self._bump("requests")
+        future: Future
+        leader = False
+        with self._inflight_lock:
+            existing = self._inflight.get(request_key)
+            if existing is None:
+                future = Future()
+                self._inflight[request_key] = future
+                leader = True
+            else:
+                future = existing
+        if not leader:
+            self._bump("coalesced")
+            if self.events.enabled:
+                self.events.emit("serve.coalesce", request=request_key)
+            response = dict(future.result())
+            response["coalesced"] = True
+            return response
+        try:
+            response = self._answer(document, request_key)
+            future.set_result(response)
+            return response
+        except BaseException as exc:
+            self._bump("errors")
+            future.set_exception(exc)
+            raise
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(request_key, None)
+
+    def _answer(
+        self, document: Dict[str, object], request_key: str
+    ) -> Dict[str, object]:
+        from ..obs.runs import config_fingerprints
+
+        if self.events.enabled:
+            self.events.emit(
+                "serve.request", request=request_key,
+                model=document["model"],
+            )
+        config = _build_config(self.config, document.get("config") or {})
+        topology = topology_from(document["topology"])
+        # The request's problem identity needs the built input graph;
+        # session construction (graph building + placement) is cheap
+        # next to search and exactly matches what a cold run would do.
+        from ..core.session import FastTSession
+        from ..models import get_model
+
+        spec = get_model(str(document["model"]))
+        batch = int(document.get("global_batch") or spec.global_batch)
+        session = FastTSession(
+            spec.builder, topology, global_batch=batch,
+            config=config, model_name=spec.name,
+        )
+        fingerprints = config_fingerprints(session.input_graph, topology, config)
+        key = fingerprints["combined"]
+
+        cached = self.store.get(key)
+        if cached is not None:
+            self._bump("hits")
+            if self.events.enabled:
+                self.events.emit("serve.hit", request=request_key, key=key)
+            return self._respond(cached, source="cache", request_key=request_key)
+
+        self._bump("misses")
+        if self.events.enabled:
+            self.events.emit("serve.miss", request=request_key, key=key)
+
+        signature = graph_signature(session.input_graph)
+        warm_start, warm_source = self._warm_seed(signature, fingerprints, batch)
+        context = session.new_context(warm_start=warm_start)
+        self._bump("searches")
+        if warm_start is not None:
+            self._bump("warm_starts")
+            if self.events.enabled:
+                self.events.emit(
+                    "serve.warm", request=request_key, key=key,
+                    seed=warm_source, splits=len(warm_start.split_list),
+                )
+        report = session.optimize(context=context)
+        fallbacks = int(report.metrics.get("search.warm_fallbacks", 0))
+        if fallbacks:
+            self._bump("warm_fallbacks")
+        entry = StoredStrategy(
+            key=key,
+            fingerprints=fingerprints,
+            model=spec.name,
+            global_batch=batch,
+            devices=len(topology.devices),
+            strategy=report.strategy,
+            makespan=report.measured_time,
+            training_speed=(
+                batch / report.measured_time if report.measured_time else 0.0
+            ),
+            signature=signature,
+        )
+        self.store.put(entry)
+        source = "warm" if warm_start is not None and not fallbacks else "search"
+        if self.events.enabled:
+            self.events.emit(
+                "serve.complete", request=request_key, key=key,
+                source=source, makespan=entry.makespan,
+            )
+        return self._respond(entry, source=source, request_key=request_key)
+
+    def _warm_seed(
+        self,
+        signature: Dict[str, str],
+        fingerprints: Dict[str, str],
+        batch: int,
+    ) -> Tuple[Optional[WarmStartSeed], Optional[str]]:
+        kwargs = {} if self.warm_ratio is None else {"max_ratio": self.warm_ratio}
+        match = self.store.find_similar(
+            signature,
+            cluster=fingerprints["cluster"],
+            options=fingerprints["options"],
+            **kwargs,
+        )
+        if match is None:
+            return None, None
+        entry, delta = match
+        reference = entry.makespan
+        if entry.global_batch and batch != entry.global_batch:
+            # Linear work-scaling prior keeps the safety valve honest
+            # across batch edits (the common warm-start case).
+            reference = entry.makespan * (batch / entry.global_batch)
+        seed = WarmStartSeed(
+            split_list=list(entry.strategy.split_list),
+            reference_makespan=reference,
+            source=f"store:{entry.key[:12]}",
+        )
+        _logger.info(
+            "warm-start seed %s (%s)", entry.key[:12], delta.summary()
+        )
+        return seed, entry.key
+
+    def _respond(
+        self, entry: StoredStrategy, *, source: str, request_key: str
+    ) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "source": source,
+            "request": request_key,
+            "key": entry.key,
+            "model": entry.model,
+            "global_batch": entry.global_batch,
+            "devices": entry.devices,
+            "makespan": entry.makespan,
+            "training_speed": entry.training_speed,
+            "strategy": {
+                "label": entry.strategy.label,
+                "splits": len(entry.strategy.split_list),
+                "placement": dict(entry.strategy.placement),
+                "order": list(entry.strategy.order),
+                "split_list": [
+                    [d.op_name, d.dim, d.num_splits]
+                    for d in entry.strategy.split_list
+                ],
+            },
+        }
+
+    # -- introspection --------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        with self._inflight_lock:
+            inflight = len(self._inflight)
+        return {
+            "status": "ok",
+            "workers": self.workers,
+            "inflight": inflight,
+            "store": {
+                "root": self.store.root if self.store.persist else None,
+                "capacity": self.store.capacity,
+                "entries": len(self.store),
+            },
+        }
+
+    def stats_json(self) -> Dict[str, object]:
+        with self._stats_lock:
+            return {"status": "ok", "stats": self.stats.to_json()}
+
+
+# ----------------------------------------------------------------------
+# asyncio TCP front-end: one JSON document per line, one back.
+# ----------------------------------------------------------------------
+
+async def handle_connection(
+    service: StrategyService,
+    pool: ThreadPoolExecutor,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    shutdown: asyncio.Event,
+) -> None:
+    loop = asyncio.get_running_loop()
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                message = json.loads(line)
+                op = message.get("op", "optimize")
+                if op == "ping":
+                    response: Dict[str, object] = {"status": "ok", "pong": True}
+                elif op == "stats":
+                    response = service.stats_json()
+                elif op == "status":
+                    response = service.status()
+                elif op == "shutdown":
+                    response = {"status": "ok", "stopping": True}
+                    shutdown.set()
+                elif op == "optimize":
+                    response = await loop.run_in_executor(
+                        pool, service.submit, message.get("request") or {}
+                    )
+                else:
+                    response = {"status": "error",
+                                "error": f"unknown op {op!r}"}
+            except RequestError as exc:
+                response = {"status": "error", "error": str(exc)}
+            except Exception as exc:  # pragma: no cover - defensive
+                _logger.exception("request failed")
+                response = {"status": "error",
+                            "error": f"{type(exc).__name__}: {exc}"}
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+            if shutdown.is_set():
+                break
+    finally:
+        writer.close()
+
+
+async def serve_forever(
+    service: StrategyService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: Optional[Callable[[str, int], None]] = None,
+) -> None:
+    """Run the TCP front-end until a client sends ``{"op": "shutdown"}``.
+
+    ``ready(host, port)`` is invoked once the socket is bound (port 0
+    picks a free port; this is how callers learn which).
+    """
+    shutdown = asyncio.Event()
+    pool = ThreadPoolExecutor(
+        max_workers=service.workers, thread_name_prefix="repro-serve"
+    )
+    server = await asyncio.start_server(
+        lambda r, w: handle_connection(service, pool, r, w, shutdown),
+        host, port,
+    )
+    bound = server.sockets[0].getsockname()
+    _logger.info("serving on %s:%s", bound[0], bound[1])
+    if ready is not None:
+        ready(bound[0], bound[1])
+    async with server:
+        await shutdown.wait()
+    pool.shutdown(wait=False)

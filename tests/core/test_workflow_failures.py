@@ -90,7 +90,11 @@ class TestOOMHandling:
         )
         calculator.alternative_inputs = [(big_graph, bad_strategy)]
         report = calculator.run()
-        assert calculator.alternative_inputs == [], "OOM alternative kept"
+        # The infeasible alternative never wins, and — reentrant core —
+        # run() no longer mutates the calculator's inputs while dropping
+        # it from its own run-local candidate list.
+        assert calculator.alternative_inputs == [(big_graph, bad_strategy)]
+        assert report.strategy.label != "doomed"
         assert report.measured_time < float("inf")
 
 

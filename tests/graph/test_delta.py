@@ -1,0 +1,82 @@
+"""Graph-edit deltas (repro.graph.delta): the warm-start matching gate."""
+
+from repro.graph import (
+    Graph,
+    diff_graphs,
+    diff_signatures,
+    graph_signature,
+)
+
+from tests.util import build_mlp
+
+
+def _mlp_graph(batch=64, hidden=64, layers=2, name="g"):
+    g = Graph(name)
+    build_mlp(g, "", batch, hidden=hidden, layers=layers)
+    return g
+
+
+class TestSignatures:
+    def test_signature_covers_every_op(self):
+        g = _mlp_graph()
+        signature = graph_signature(g)
+        assert set(signature) == {op.name for op in g.ops}
+
+    def test_identical_graphs_identical_signatures(self):
+        assert graph_signature(_mlp_graph()) == graph_signature(_mlp_graph())
+
+    def test_batch_change_rewrites_digests_not_names(self):
+        a = graph_signature(_mlp_graph(batch=64))
+        b = graph_signature(_mlp_graph(batch=128))
+        assert set(a) == set(b)
+        assert a != b
+
+
+class TestDelta:
+    def test_identical(self):
+        delta = diff_graphs(_mlp_graph(), _mlp_graph())
+        assert delta.identical
+        assert delta.structural_ratio == 0.0
+        assert delta.is_warm_startable()
+
+    def test_batch_change_is_warm_startable(self):
+        delta = diff_graphs(_mlp_graph(batch=64), _mlp_graph(batch=128))
+        # Every op reshapes, none appear or vanish: a pure reshape edit.
+        assert not delta.identical
+        assert delta.structural_edits == 0
+        assert delta.changed
+        assert delta.is_warm_startable()
+
+    def test_layer_added_small_delta(self):
+        delta = diff_graphs(_mlp_graph(layers=2), _mlp_graph(layers=3))
+        assert delta.added  # the new layer's ops
+        assert delta.structural_ratio < 1.0
+        assert delta.target_size > delta.base_size
+
+    def test_unrelated_graphs_not_warm_startable(self):
+        g = Graph("chain")
+        prev = g.create_op(
+            "Generic", "solo",
+            attrs={"output_shapes": [(4, 4)], "flops": 1.0},
+        )
+        for i in range(9):
+            prev = g.create_op(
+                "Generic", f"other{i}", [prev.outputs[0]],
+                attrs={"output_shapes": [(4, 4)], "flops": 1.0},
+            )
+        delta = diff_graphs(_mlp_graph(), g)
+        # Fully disjoint op sets: every op on both sides is an edit.
+        assert delta.structural_ratio >= 1.0
+        assert not delta.is_warm_startable()
+
+    def test_empty_side_never_warm_startable(self):
+        delta = diff_signatures({}, {"a": "x"})
+        assert not delta.is_warm_startable()
+        assert diff_signatures({}, {}).structural_ratio == 0.0
+
+    def test_json_and_summary(self):
+        delta = diff_graphs(_mlp_graph(layers=2), _mlp_graph(layers=3))
+        doc = delta.to_json()
+        assert doc["added"] == delta.added
+        assert isinstance(doc["structural_ratio"], float)
+        assert "+" in delta.summary()

@@ -1,0 +1,176 @@
+"""StrategyService: hit / coalesce / warm-start semantics, counter-verified."""
+
+import threading
+
+import pytest
+
+from repro.serve import (
+    RequestError,
+    StrategyService,
+    StrategyStore,
+    normalize_request,
+)
+
+FAST_CONFIG = {
+    "profiling_steps": 1, "max_rounds": 2, "min_rounds": 1,
+    "measure_steps": 1, "search": {"max_candidate_ops": 2},
+}
+
+
+def _service(tmp_path, **kwargs):
+    store = StrategyStore(root=str(tmp_path / "strategies"), capacity=16)
+    return StrategyService(store=store, **kwargs)
+
+
+def _request(**overrides):
+    request = {"model": "lenet", "topology": "pcie:2", "config": FAST_CONFIG}
+    request.update(overrides)
+    return request
+
+
+class TestNormalize:
+    def test_requires_model_and_topology(self):
+        with pytest.raises(RequestError):
+            normalize_request({"topology": "pcie:2"})
+        with pytest.raises(RequestError):
+            normalize_request({"model": "lenet"})
+
+    def test_rejects_unknown_config_keys(self):
+        with pytest.raises(RequestError):
+            normalize_request(_request(config={"not_a_knob": 1}))
+        with pytest.raises(RequestError):
+            normalize_request(_request(config={"search": {"bogus": 1}}))
+
+    def test_canonical_form_is_order_insensitive(self):
+        a = normalize_request(_request())
+        b = normalize_request({
+            "config": FAST_CONFIG, "topology": "pcie:2", "model": "lenet",
+        })
+        assert a == b
+
+
+class TestCachePath:
+    def test_repeat_answered_from_store_without_search(self, tmp_path):
+        service = _service(tmp_path)
+        first = service.submit(_request())
+        assert first["source"] == "search"
+        searches_after_first = service.stats.searches
+
+        second = service.submit(_request())
+        assert second["source"] == "cache"
+        # Counter-verified: the repeat ran no search at all.
+        assert service.stats.searches == searches_after_first == 1
+        assert service.stats.hits == 1
+        assert second["strategy"] == first["strategy"]
+        assert second["makespan"] == first["makespan"]
+
+    def test_cache_shared_across_service_restart(self, tmp_path):
+        first = _service(tmp_path).submit(_request())
+        service = _service(tmp_path)
+        second = service.submit(_request())
+        assert second["source"] == "cache"
+        assert service.stats.searches == 0
+        assert second["strategy"] == first["strategy"]
+
+    def test_different_batch_is_a_different_problem(self, tmp_path):
+        service = _service(tmp_path)
+        service.submit(_request(global_batch=64))
+        other = service.submit(_request(global_batch=128))
+        assert other["source"] != "cache"
+        assert service.stats.searches == 2
+
+
+class TestCoalescing:
+    def test_identical_inflight_requests_share_one_search(self, tmp_path):
+        service = _service(tmp_path)
+        original_answer = service._answer
+        leader_started = threading.Event()
+        release = threading.Event()
+
+        def gated_answer(document, request_key):
+            leader_started.set()
+            assert release.wait(30)
+            return original_answer(document, request_key)
+
+        service._answer = gated_answer
+        results = []
+        errors = []
+
+        def submit():
+            try:
+                results.append(service.submit(_request()))
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        leader = threading.Thread(target=submit)
+        leader.start()
+        assert leader_started.wait(30)
+        follower = threading.Thread(target=submit)
+        follower.start()
+        # Wait until the follower is registered as coalesced, then let
+        # the leader's search run.
+        for _ in range(3000):
+            if service.stats.coalesced:
+                break
+            threading.Event().wait(0.01)
+        release.set()
+        leader.join(60)
+        follower.join(60)
+
+        assert not errors
+        assert service.stats.coalesced == 1
+        assert service.stats.searches == 1  # one search served both
+        assert service.stats.requests == 2  # ...for two submissions
+        flags = sorted(bool(r.get("coalesced")) for r in results)
+        assert flags == [False, True]
+        strategies = {str(sorted(r["strategy"]["placement"].items()))
+                      for r in results}
+        assert len(strategies) == 1
+
+    def test_sequential_requests_do_not_coalesce(self, tmp_path):
+        service = _service(tmp_path)
+        service.submit(_request())
+        service.submit(_request())
+        assert service.stats.coalesced == 0
+
+
+class TestWarmStart:
+    def test_edited_batch_warm_starts_within_envelope(self, tmp_path):
+        service = _service(tmp_path)
+        cold = service.submit(_request(global_batch=64))
+        assert cold["source"] == "search"
+
+        warm = service.submit(_request(global_batch=128))
+        assert service.stats.warm_starts == 1
+        assert warm["source"] in ("warm", "search")  # valve may fall back
+        if warm["source"] == "warm":
+            assert service.stats.warm_fallbacks == 0
+        else:
+            assert service.stats.warm_fallbacks == 1
+        # Either way the answer is a valid, finite strategy.
+        assert warm["makespan"] < float("inf")
+        assert warm["strategy"]["placement"]
+        # Warm result stays within the engine's safety envelope of the
+        # (work-scaled) cold reference.
+        assert warm["makespan"] <= 1.5 * cold["makespan"] * (128 / 64)
+
+    def test_no_warm_start_across_different_search_options(self, tmp_path):
+        service = _service(tmp_path)
+        service.submit(_request(global_batch=64))
+        other_cfg = dict(FAST_CONFIG)
+        other_cfg["search"] = {"max_candidate_ops": 1}
+        service.submit(_request(global_batch=128, config=other_cfg))
+        assert service.stats.warm_starts == 0
+
+
+class TestErrors:
+    def test_unknown_model_counts_an_error(self, tmp_path):
+        service = _service(tmp_path)
+        with pytest.raises(KeyError):
+            service.submit(_request(model="not_a_model"))
+        assert service.stats.errors == 1
+
+    def test_malformed_request(self, tmp_path):
+        service = _service(tmp_path)
+        with pytest.raises(RequestError):
+            service.submit({"model": "lenet"})
