@@ -13,6 +13,11 @@ pins their ordering:
 With ``--trace-dir`` each model writes cold/warm gate summaries, so the
 perf regression gate tracks the warm-start path's wall seconds across
 runs alongside the cold search it competes with.
+
+Each trial also scrapes the service's own Prometheus exposition: the
+latency-histogram ``_count`` must equal the stats request total (the
+same invariant the CI serve-smoke curls for), and the reported p50/p95
+join the gate table so latency drift is visible across runs.
 """
 
 from __future__ import annotations
@@ -24,7 +29,9 @@ from conftest import export_rows, models_under_test
 
 from repro.experiments import harness
 from repro.obs import write_gate_summary
+from repro.obs.prometheus import parse_prometheus, sample_value
 from repro.serve import StrategyService, StrategyStore
+from repro.serve.top import LATENCY_FAMILY, quantile_from_samples
 
 MODELS = ("lenet", "alexnet")
 TOPOLOGY = "pcie:2"
@@ -69,6 +76,7 @@ def run_serve_trial(model):
         "warm": (warm, t_warm),
         "cold_edit": (cold_edit, t_cold_edit),
         "stats": primed.stats,
+        "exposition": primed.metrics_document(),
     }
 
 
@@ -78,7 +86,7 @@ def test_serve_warm_start_beats_cold(benchmark):
         rounds=1, iterations=1,
     )
     headers = ["Model", "Cold s", "Cache s", "Warm s", "Cold-edit s",
-               "Warm speedup", "Warm source"]
+               "Warm speedup", "Warm source", "p50 s", "p95 s"]
     rows = []
     trace_dir = harness.get_trace_dir()
     print()
@@ -89,14 +97,26 @@ def test_serve_warm_start_beats_cold(benchmark):
         warm, t_warm = trial["warm"]
         cold_edit, t_cold_edit = trial["cold_edit"]
         speedup = t_cold_edit / t_warm if t_warm else float("inf")
+
+        # The service's own exposition: latency quantiles for the gate
+        # table, and the _count == requests invariant CI curls for.
+        samples = parse_prometheus(trial["exposition"])
+        p50 = quantile_from_samples(samples, 0.50)
+        p95 = quantile_from_samples(samples, 0.95)
+        latency_count = sample_value(samples, LATENCY_FAMILY + "_count")
+        requests_total = sample_value(samples, "repro_serve_requests_total")
+
         rows.append([
             model, round(t_cold, 3), round(t_cache, 4), round(t_warm, 3),
             round(t_cold_edit, 3), round(speedup, 2), warm["source"],
+            round(p50, 4) if p50 is not None else "?",
+            round(p95, 4) if p95 is not None else "?",
         ])
         print(
             f"serve gate [{model}]: cold {t_cold:.3f}s, cache "
             f"{t_cache * 1e3:.1f}ms, warm {t_warm:.3f}s vs cold-edit "
-            f"{t_cold_edit:.3f}s ({speedup:.2f}x)"
+            f"{t_cold_edit:.3f}s ({speedup:.2f}x), "
+            f"latency p50 {p50:.4f}s p95 {p95:.4f}s"
         )
         if trace_dir:
             for phase, response, wall in (
@@ -121,6 +141,11 @@ def test_serve_warm_start_beats_cold(benchmark):
                 )
 
         stats = trial["stats"]
+        # Exposition cross-check: the unlabeled latency histogram counts
+        # every request exactly once, and the mirrored request counter
+        # agrees with the stats object.
+        assert latency_count == stats.requests, (latency_count, stats)
+        assert requests_total == stats.requests, (requests_total, stats)
         # Counter-verified behavior, not just timing:
         assert cached["source"] == "cache", cached["source"]
         assert stats.hits == 1

@@ -12,15 +12,22 @@ three answer paths from client connections:
 
 The stats endpoint is the source of truth throughout: the script exits
 nonzero unless it observed at least one coalesce, one cache hit, and
-one warm start (this doubles as the CI serve-smoke gate).
+one warm start (this doubles as the CI serve-smoke gate).  It finishes
+by scraping the plain-HTTP observability listener — ``GET /metrics``
+must parse as Prometheus text exposition whose
+``repro_serve_requests_total`` and latency-histogram ``_count`` agree
+exactly with the stats endpoint, and ``/healthz`` must report healthy.
 
     python examples/serve.py [store-dir]
 """
 
 import asyncio
+import json
 import sys
 import threading
+import urllib.request
 
+from repro.obs.prometheus import parse_prometheus, sample_value
 from repro.serve import Client, StrategyService, StrategyStore, serve_forever
 
 MODEL = "lenet"
@@ -41,27 +48,36 @@ def start_server(store_dir):
     service = StrategyService(store=store, workers=4)
     bound = {}
     ready = threading.Event()
+    metrics_ready = threading.Event()
 
     def on_ready(host, port):
         bound["port"] = port
         ready.set()
 
+    def on_metrics_ready(host, port):
+        bound["metrics_port"] = port
+        metrics_ready.set()
+
     thread = threading.Thread(
         target=lambda: asyncio.run(
-            serve_forever(service, port=0, ready=on_ready)
+            serve_forever(
+                service, port=0, ready=on_ready,
+                metrics_port=0, metrics_ready=on_metrics_ready,
+            )
         ),
         daemon=True,
     )
     thread.start()
-    if not ready.wait(timeout=30):
+    if not (ready.wait(timeout=30) and metrics_ready.wait(timeout=30)):
         raise RuntimeError("service did not come up")
-    return bound["port"], thread
+    return bound["port"], bound["metrics_port"], thread
 
 
 def main() -> int:
     store_dir = sys.argv[1] if len(sys.argv) > 1 else None
-    port, thread = start_server(store_dir)
-    print(f"service listening on 127.0.0.1:{port}")
+    port, metrics_port, thread = start_server(store_dir)
+    print(f"service listening on 127.0.0.1:{port}, "
+          f"metrics on 127.0.0.1:{metrics_port}")
 
     # -- 1. duplicate pair, in flight together: coalesced ---------------
     # Coalescing needs the two requests to overlap; on a slow host the
@@ -107,10 +123,37 @@ def main() -> int:
 
         stats = client.stats()["stats"]
         print(f"stats: {stats}")
+
+        # -- 4. observability scrape: exposition must agree with stats --
+        base = f"http://127.0.0.1:{metrics_port}"
+        with urllib.request.urlopen(f"{base}/metrics", timeout=30) as reply:
+            exposition = reply.read().decode()
+        samples = parse_prometheus(exposition)  # raises if unparsable
+        scraped_requests = sample_value(samples, "repro_serve_requests_total")
+        latency_count = sample_value(
+            samples, "repro_serve_request_latency_seconds_count"
+        )
+        with urllib.request.urlopen(f"{base}/healthz", timeout=30) as reply:
+            health = json.loads(reply.read())
+        print(f"scrape: requests_total={scraped_requests} "
+              f"latency_count={latency_count} health={health['status']}")
+
         client.shutdown()
     thread.join(timeout=10)
 
     failures = []
+    if scraped_requests != stats["requests"]:
+        failures.append(
+            f"exposition requests_total {scraped_requests} != "
+            f"stats {stats['requests']}"
+        )
+    if latency_count != stats["requests"]:
+        failures.append(
+            f"latency histogram count {latency_count} != "
+            f"stats {stats['requests']}"
+        )
+    if not health.get("healthy"):
+        failures.append(f"service unhealthy: {health}")
     if stats["coalesced"] < 1:
         failures.append("expected at least one coalesced request")
     if stats["hits"] < 1:
@@ -122,7 +165,8 @@ def main() -> int:
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:
-        print("serve smoke ok: coalesce + cache hit + warm start observed")
+        print("serve smoke ok: coalesce + cache hit + warm start observed, "
+              "exposition agrees with stats")
     return 1 if failures else 0
 
 

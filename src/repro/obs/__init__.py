@@ -56,12 +56,16 @@ from .events import (
     read_event_log,
 )
 from .metrics import (
+    DEFAULT_BUCKET_BOUNDS,
     Counter,
     Gauge,
+    Histogram,
     MetricsRegistry,
     MetricsSnapshot,
     NullMetricsRegistry,
     Timer,
+    metric_key,
+    parse_metric_key,
 )
 from .tracer import NULL_TRACER, NullTracer, Tracer
 
@@ -270,7 +274,14 @@ _RUNS_EXPORTS = (
 )
 
 #: Progress-renderer names (lazy: most runs never render progress).
-_PROGRESS_EXPORTS = ("ProgressRenderer",)
+_PROGRESS_EXPORTS = ("LivePanel", "ProgressRenderer", "format_seconds")
+
+#: Prometheus exposition names (lazy: only the serving layer renders).
+_PROMETHEUS_EXPORTS = (
+    "parse_prometheus",
+    "prometheus_name",
+    "render_prometheus",
+)
 
 
 def __getattr__(name: str):
@@ -294,6 +305,10 @@ def __getattr__(name: str):
         from . import progress
 
         return getattr(progress, name)
+    if name in _PROMETHEUS_EXPORTS:
+        from . import prometheus
+
+        return getattr(prometheus, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -304,7 +319,9 @@ def get_obs(obs: Optional[Observability]) -> Observability:
 
 __all__ = list(_ANALYZE_EXPORTS) + list(_PROVENANCE_EXPORTS) + list(
     _CALIBRATION_EXPORTS
-) + list(_RUNS_EXPORTS) + list(_PROGRESS_EXPORTS) + [
+) + list(_RUNS_EXPORTS) + list(_PROGRESS_EXPORTS) + list(
+    _PROMETHEUS_EXPORTS
+) + [
     "EVENT_SCHEMA_VERSION",
     "Event",
     "EventBus",
@@ -315,8 +332,12 @@ __all__ = list(_ANALYZE_EXPORTS) + list(_PROVENANCE_EXPORTS) + list(
     "get_events",
     "read_event_log",
     "Counter",
+    "DEFAULT_BUCKET_BOUNDS",
     "Gauge",
+    "Histogram",
     "MetricsRegistry",
+    "metric_key",
+    "parse_metric_key",
     "MetricsSnapshot",
     "NULL_OBS",
     "NULL_PROVENANCE",

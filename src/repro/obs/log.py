@@ -9,10 +9,12 @@ visible until someone opts in).  Opting in is one call::
     log.configure("info")          # or set REPRO_LOG=info in the env
 
 Every record carries a ``run_id`` attribute (``-`` when no run is
-active).  :mod:`repro.obs.runs` enters :func:`run_id_context` around a
-recorded run, so log lines from anywhere in the engine — search rounds,
-cache hits, gate warnings — are attributable to the run directory they
-belong to.
+active) and a ``request_id`` attribute (``-`` outside a service
+request).  :mod:`repro.obs.runs` enters :func:`run_id_context` around a
+recorded run, and :mod:`repro.serve` enters :func:`request_id_context`
+around each client request, so log lines from anywhere in the engine —
+search rounds, cache hits, gate warnings — are attributable both to the
+run directory they belong to and to the client request that caused them.
 """
 
 from __future__ import annotations
@@ -27,25 +29,33 @@ from typing import Iterator, Optional
 #: Name of the library's root logger; all module loggers live below it.
 ROOT_LOGGER = "repro"
 
-#: Format used by :func:`configure`; ``%(run_id)s`` is injected by
-#: :class:`RunIdFilter`.
-LOG_FORMAT = "%(asctime)s %(levelname)-7s %(run_id)s %(name)s: %(message)s"
+#: Format used by :func:`configure`; ``%(run_id)s`` and
+#: ``%(request_id)s`` are injected by :class:`RunIdFilter`.
+LOG_FORMAT = (
+    "%(asctime)s %(levelname)-7s %(run_id)s %(request_id)s "
+    "%(name)s: %(message)s"
+)
 
 _run_id_var: contextvars.ContextVar[str] = contextvars.ContextVar(
     "repro_run_id", default="-"
+)
+_request_id_var: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_request_id", default="-"
 )
 _configured = False
 
 
 class RunIdFilter(logging.Filter):
-    """Stamp every record with the active run id (``-`` outside a run).
+    """Stamp every record with the active run and request ids.
 
-    Attached to handlers rather than loggers so records emitted by any
-    ``repro.*`` child pick it up regardless of where they originate.
+    (``-`` outside a run / outside a service request.)  Attached to
+    handlers rather than loggers so records emitted by any ``repro.*``
+    child pick it up regardless of where they originate.
     """
 
     def filter(self, record: logging.LogRecord) -> bool:
         record.run_id = _run_id_var.get()
+        record.request_id = _request_id_var.get()
         return True
 
 
@@ -102,6 +112,31 @@ def run_id_context(run_id: str) -> Iterator[None]:
         yield
     finally:
         _run_id_var.reset(token)
+
+
+def set_request_id(request_id: Optional[str]) -> "contextvars.Token[str]":
+    """Set the request id stamped onto subsequent records."""
+    return _request_id_var.set(request_id or "-")
+
+
+def current_request_id() -> str:
+    """The request id in effect for this context (``-`` when none)."""
+    return _request_id_var.get()
+
+
+@contextlib.contextmanager
+def request_id_context(request_id: str) -> Iterator[None]:
+    """Scope within which log records carry ``request_id``.
+
+    The strategy service enters this around each client request, so an
+    engine log line can be joined back to the access-log line (and the
+    run manifest) of the request that triggered it.
+    """
+    token = _request_id_var.set(request_id or "-")
+    try:
+        yield
+    finally:
+        _request_id_var.reset(token)
 
 
 def _ensure_null_handler() -> None:

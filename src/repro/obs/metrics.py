@@ -1,21 +1,32 @@
-"""Metrics registry: counters, gauges, and timers for the FastT workflow.
+"""Metrics registry: counters, gauges, timers, and histograms.
 
 The registry replaces the ad hoc integer counters that used to live on
 ``OSDPOSResult`` and ``CalculationReport``: components increment named
-counters, set gauges, and accumulate timers; at the end of a run the
-registry is frozen into a :class:`MetricsSnapshot` (a plain ``dict``
-subclass) that travels on the result objects and serializes to JSON/CSV.
+counters, set gauges, accumulate timers, and observe latency samples
+into histograms; at the end of a run the registry is frozen into a
+:class:`MetricsSnapshot` (a plain ``dict`` subclass) that travels on the
+result objects and serializes to JSON/CSV.
 
 Metric names are dotted paths (``search.candidates_evaluated``,
 ``workflow.rounds``, ``sim.steps``).  Timers store seconds under
-``<name>.seconds`` and invocation counts under ``<name>.count``.
+``<name>.seconds`` and invocation counts under ``<name>.count``;
+histograms store ``<name>.count/.sum/.min/.max`` plus estimated
+``.p50/.p95/.p99`` quantiles.
+
+Metrics may carry **labels** — ``registry.counter("serve.requests",
+outcome="hit")`` — stored under the canonical key
+``serve.requests{outcome=hit}``.  Labels keep low-cardinality dimensions
+(request outcome, tier) out of the metric name proper so the Prometheus
+renderer (:mod:`repro.obs.prometheus`) can emit them as proper label
+sets while snapshots stay flat and greppable.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 Number = Union[int, float]
 
@@ -56,11 +67,19 @@ class Gauge:
         self.value: Number = 0
 
     def set(self, value: Number) -> None:
-        self.value = value
+        # Locked like every other write: a bare store is atomic under
+        # the GIL, but an unlocked set racing inc()'s read-modify-write
+        # can be overwritten by a stale ``value + amount``.
+        with _METRICS_LOCK:
+            self.value = value
 
     def inc(self, amount: Number = 1) -> None:
         with _METRICS_LOCK:
             self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        with _METRICS_LOCK:
+            self.value -= amount
 
 
 class Timer:
@@ -93,6 +112,177 @@ class Timer:
         self._started = None
 
 
+#: Default histogram bucket upper bounds: fixed exponential (log-spaced,
+#: factor 2) from 100 microseconds to ~1.7 hours.  Latency-shaped: the
+#: relative quantile-estimation error is bounded by one bucket width
+#: (a factor of 2), which is plenty to tell p50 from p99 on a serving
+#: path, and the fixed layout means every histogram in the process (and
+#: across merged runs) shares bucket boundaries.
+DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    1e-4 * (2.0 ** i) for i in range(26)
+)
+
+
+class Histogram:
+    """Log-bucketed distribution metric (thread-safe).
+
+    Tracks exact ``count``/``sum``/``min``/``max`` plus per-bucket
+    counts over fixed exponential bounds, from which :meth:`quantile`
+    estimates order statistics with error bounded by the width of the
+    bucket the quantile falls in.  Values above the last bound land in a
+    ``+Inf`` overflow bucket (quantiles there report the last finite
+    bound).
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(
+        self, name: str, bounds: Optional[Tuple[float, ...]] = None
+    ) -> None:
+        self.name = name
+        bounds = tuple(bounds) if bounds is not None else DEFAULT_BUCKET_BOUNDS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted: {bounds!r}")
+        self.bounds = bounds
+        #: Non-cumulative per-bucket counts; index len(bounds) is +Inf.
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # ------------------------------------------------------------------
+    def observe(self, value: Number) -> None:
+        """Record one sample."""
+        value = float(value)
+        index = self._bucket_index(value)
+        with _METRICS_LOCK:
+            self.bucket_counts[index] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def _bucket_index(self, value: float) -> int:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bound >= value (bisect_left on bounds)
+            mid = (lo + hi) // 2
+            if self.bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0 <= q <= 1); 0.0 on an empty histogram.
+
+        Walks cumulative bucket counts to the bucket containing the
+        target rank and interpolates linearly inside it — the absolute
+        error is at most that bucket's width.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with _METRICS_LOCK:
+            total = self.count
+            if not total:
+                return 0.0
+            rank = q * total
+            cumulative = 0
+            for index, bucket_count in enumerate(self.bucket_counts):
+                if not bucket_count:
+                    continue
+                previous = cumulative
+                cumulative += bucket_count
+                if cumulative >= rank:
+                    if index >= len(self.bounds):
+                        return self.bounds[-1]  # overflow bucket
+                    upper = self.bounds[index]
+                    lower = self.bounds[index - 1] if index else 0.0
+                    fraction = (rank - previous) / bucket_count
+                    return lower + (upper - lower) * min(1.0, fraction)
+            return self.max  # pragma: no cover - rank <= count always hits
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last.
+
+        The Prometheus ``_bucket{le=...}`` series shape.
+        """
+        with _METRICS_LOCK:
+            counts = list(self.bucket_counts)
+        out: List[Tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, counts):
+            cumulative += bucket_count
+            out.append((bound, cumulative))
+        out.append((math.inf, cumulative + counts[-1]))
+        return out
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's samples into this one.
+
+        Requires identical bucket bounds (true for every default-bucket
+        histogram in the process — the point of fixed bounds).
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.name!r} vs {other.name!r}"
+            )
+        with _METRICS_LOCK:
+            for index, bucket_count in enumerate(other.bucket_counts):
+                self.bucket_counts[index] += bucket_count
+            self.count += other.count
+            self.sum += other.sum
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
+    def snapshot_into(self, snap: Dict[str, Number]) -> None:
+        """Write this histogram's flat snapshot keys into ``snap``."""
+        with _METRICS_LOCK:
+            count, total = self.count, self.sum
+            lo, hi = self.min, self.max
+        snap[f"{self.name}.count"] = count
+        snap[f"{self.name}.sum"] = total
+        if count:
+            snap[f"{self.name}.min"] = lo
+            snap[f"{self.name}.max"] = hi
+            for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                snap[f"{self.name}.{key}"] = self.quantile(q)
+
+
+def metric_key(name: str, labels: Dict[str, str]) -> str:
+    """Canonical registry key for a (name, labels) pair.
+
+    Unlabeled metrics keep their bare dotted name; labeled ones append a
+    deterministic ``{k=v,...}`` suffix (sorted by label key), which
+    :func:`parse_metric_key` inverts and the Prometheus renderer turns
+    into real label sets.
+    """
+    if not labels:
+        return name
+    suffix = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{suffix}}}"
+
+
+def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a registry key back into ``(name, labels)``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, suffix = key.partition("{")
+    labels: Dict[str, str] = {}
+    for pair in suffix[:-1].split(","):
+        if not pair:
+            continue
+        label, _, value = pair.partition("=")
+        labels[label] = value
+    return name, labels
+
+
 class MetricsSnapshot(dict):
     """Frozen-by-convention ``{metric name: value}`` mapping.
 
@@ -105,69 +295,118 @@ class MetricsSnapshot(dict):
 
 
 class MetricsRegistry:
-    """Create-on-first-use registry of named counters/gauges/timers."""
+    """Create-on-first-use registry of counters/gauges/timers/histograms.
+
+    Instrument accessors take optional ``**labels`` (low-cardinality
+    string dimensions); each distinct (name, labels) pair is its own
+    instrument, keyed by :func:`metric_key`.  Create-on-first-use dict
+    mutation is guarded by ``_METRICS_LOCK`` — two service threads
+    racing the first ``counter("serve.hits")`` must not build two
+    instruments and drop one's counts.
+    """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._timers: Dict[str, Timer] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
-    def counter(self, name: str) -> Counter:
-        metric = self._counters.get(name)
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = metric_key(name, labels)
+        metric = self._counters.get(key)
         if metric is None:
-            metric = self._counters[name] = Counter(name)
+            with _METRICS_LOCK:
+                metric = self._counters.get(key)
+                if metric is None:
+                    metric = self._counters[key] = Counter(key)
         return metric
 
-    def gauge(self, name: str) -> Gauge:
-        metric = self._gauges.get(name)
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = metric_key(name, labels)
+        metric = self._gauges.get(key)
         if metric is None:
-            metric = self._gauges[name] = Gauge(name)
+            with _METRICS_LOCK:
+                metric = self._gauges.get(key)
+                if metric is None:
+                    metric = self._gauges[key] = Gauge(key)
         return metric
 
-    def timer(self, name: str) -> Timer:
-        metric = self._timers.get(name)
+    def timer(self, name: str, **labels: str) -> Timer:
+        key = metric_key(name, labels)
+        metric = self._timers.get(key)
         if metric is None:
-            metric = self._timers[name] = Timer(name)
+            with _METRICS_LOCK:
+                metric = self._timers.get(key)
+                if metric is None:
+                    metric = self._timers[key] = Timer(key)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Tuple[float, ...]] = None,
+        **labels: str,
+    ) -> Histogram:
+        key = metric_key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            with _METRICS_LOCK:
+                metric = self._histograms.get(key)
+                if metric is None:
+                    metric = self._histograms[key] = Histogram(key, bounds)
         return metric
 
     # ------------------------------------------------------------------
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry's totals into this one (cross-run sums)."""
-        for name, counter in other._counters.items():
+        for name, counter in list(other._counters.items()):
             self.counter(name).inc(counter.value)
-        for name, gauge in other._gauges.items():
+        for name, gauge in list(other._gauges.items()):
             self.gauge(name).set(gauge.value)
-        for name, timer in other._timers.items():
+        for name, timer in list(other._timers.items()):
             self.timer(name).add(timer.seconds, timer.count)
+        for name, histogram in list(other._histograms.items()):
+            self.histogram(name, bounds=histogram.bounds).merge(histogram)
 
     def snapshot(self) -> MetricsSnapshot:
         """Freeze current values into a serializable mapping."""
         snap = MetricsSnapshot()
-        for name, counter in self._counters.items():
+        for name, counter in list(self._counters.items()):
             snap[name] = counter.value
-        for name, gauge in self._gauges.items():
+        for name, gauge in list(self._gauges.items()):
             snap[name] = gauge.value
-        for name, timer in self._timers.items():
+        for name, timer in list(self._timers.items()):
             snap[f"{name}.seconds"] = timer.seconds
             snap[f"{name}.count"] = timer.count
+        for histogram in list(self._histograms.values()):
+            histogram.snapshot_into(snap)
         return snap
 
+    def histograms(self) -> List[Histogram]:
+        """The live histogram instruments (for renderers/dashboards)."""
+        return list(self._histograms.values())
+
     def __iter__(self) -> Iterator[str]:
-        yield from self._counters
-        yield from self._gauges
-        yield from self._timers
+        yield from list(self._counters)
+        yield from list(self._gauges)
+        yield from list(self._timers)
+        yield from list(self._histograms)
 
     def __len__(self) -> int:
-        return len(self._counters) + len(self._gauges) + len(self._timers)
+        return (len(self._counters) + len(self._gauges)
+                + len(self._timers) + len(self._histograms))
 
 
 class _NullMetric:
-    """Shared do-nothing counter/gauge/timer for disabled observability."""
+    """Shared do-nothing metric for disabled observability."""
 
     __slots__ = ()
 
     def inc(self, amount: Number = 1) -> None:
+        pass
+
+    def dec(self, amount: Number = 1) -> None:
         pass
 
     def add(self, seconds: Number = 1, count: int = 1) -> None:
@@ -175,6 +414,12 @@ class _NullMetric:
 
     def set(self, value: Number) -> None:
         pass
+
+    def observe(self, value: Number) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
     def __enter__(self) -> "_NullMetric":
         return self
@@ -192,13 +437,16 @@ class NullMetricsRegistry(MetricsRegistry):
     def __init__(self) -> None:
         super().__init__()
 
-    def counter(self, name: str) -> Counter:  # type: ignore[override]
+    def counter(self, name: str, **labels: str) -> Counter:  # type: ignore[override]
         return _NULL_METRIC  # type: ignore[return-value]
 
-    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+    def gauge(self, name: str, **labels: str) -> Gauge:  # type: ignore[override]
         return _NULL_METRIC  # type: ignore[return-value]
 
-    def timer(self, name: str) -> Timer:  # type: ignore[override]
+    def timer(self, name: str, **labels: str) -> Timer:  # type: ignore[override]
+        return _NULL_METRIC  # type: ignore[return-value]
+
+    def histogram(self, name: str, bounds=None, **labels: str) -> Histogram:  # type: ignore[override]
         return _NULL_METRIC  # type: ignore[return-value]
 
     def merge(self, other: MetricsRegistry) -> None:

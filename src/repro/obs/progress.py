@@ -38,6 +38,64 @@ def _fmt_seconds(value: object) -> str:
         return "?"
 
 
+def format_seconds(value: object) -> str:
+    """Human-scale duration: ms below a second, seconds above.
+
+    The shared formatter for live displays (:class:`ProgressRenderer`,
+    ``python -m repro.serve top``); ``"?"`` for non-numbers.
+    """
+    try:
+        seconds = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return "?"
+    if seconds < 0:
+        return "?"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 60.0:.1f}m"
+
+
+class LivePanel:
+    """Repaint a multi-line block of text in place on a TTY.
+
+    The moving part behind ``python -m repro.serve top``: each
+    :meth:`paint` call moves the cursor back up over the previous frame
+    and rewrites it (padding shortened lines), so the panel refreshes
+    without scrolling.  On a non-TTY stream every frame is appended
+    whole — logs capture a readable sequence of snapshots.
+    """
+
+    def __init__(self, stream: Optional[object] = None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        self.is_tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._prev_lines = 0
+        self._prev_width = 0
+        self._closed = False
+
+    def paint(self, text: str) -> None:
+        if self._closed:
+            return
+        lines = text.split("\n")
+        out = []
+        if self.is_tty and self._prev_lines:
+            out.append(f"\x1b[{self._prev_lines}F")  # cursor up N, col 1
+        width = max((len(line) for line in lines), default=0)
+        pad = max(self._prev_width, width)
+        for line in lines:
+            out.append(line.ljust(pad) if self.is_tty else line)
+            out.append("\n")
+        self.stream.write("".join(out))
+        self.stream.flush()
+        self._prev_lines = len(lines)
+        self._prev_width = width
+
+    def close(self) -> None:
+        """Leave the last frame on screen and stop repainting."""
+        self._closed = True
+
+
 class ProgressRenderer:
     """Event-bus subscriber painting a single live status line.
 

@@ -1,0 +1,274 @@
+"""Prometheus text exposition for a :class:`~repro.obs.MetricsRegistry`.
+
+:func:`render_prometheus` turns any registry — counters, gauges, timers,
+histograms, with or without labels — into the Prometheus text exposition
+format (version 0.0.4), the one a ``GET /metrics`` scrape target speaks:
+
+* dotted metric names are sanitized to ``repro_<snake_case>``
+  (``serve.requests`` → ``repro_serve_requests_total``);
+* counters get the conventional ``_total`` suffix and ``# TYPE counter``;
+* gauges render as-is with ``# TYPE gauge``;
+* timers render as a summary-shaped pair ``_seconds_sum`` /
+  ``_seconds_count``;
+* histograms render the full ``_bucket{le="..."}`` cumulative series
+  plus ``_sum`` and ``_count``, with label dimensions (the registry's
+  ``{k=v}`` key suffixes — see :func:`repro.obs.metrics.metric_key`)
+  merged into each sample's label set;
+* every family carries a ``# HELP`` line (pass ``help=`` to override the
+  generated ones).
+
+:func:`parse_prometheus` is the inverse used by tests and the CI
+serve-smoke gate: it parses an exposition document back into
+``{(name, labels): value}`` so every series can be cross-checked against
+the registry's own :class:`~repro.obs.MetricsSnapshot`.
+
+The module is rendering-only on purpose: serving the document over HTTP
+(``GET /metrics`` / ``/healthz`` / ``/readyz``) is the strategy
+service's job (:func:`repro.serve.serve_forever` with
+``metrics_port=``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .metrics import MetricsRegistry, parse_metric_key
+
+#: Every exposed metric name is prefixed with this namespace.
+NAMESPACE = "repro"
+
+#: Content type a /metrics HTTP response should declare.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str, suffix: str = "") -> str:
+    """Sanitized, namespaced exposition name for a registry metric name.
+
+    Dots (the registry's hierarchy separator) become underscores; any
+    other invalid character is squashed to ``_``; a leading digit gets
+    an underscore escort.  ``suffix`` (``_total``, ``_seconds_sum``, …)
+    is appended verbatim.
+    """
+    sanitized = _INVALID_CHARS.sub("_", name.replace(".", "_"))
+    if sanitized and sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return f"{NAMESPACE}_{sanitized}{suffix}"
+
+
+def _label_suffix(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        label = _INVALID_LABEL_CHARS.sub("_", str(key))
+        value = str(labels[key]).replace("\\", r"\\").replace(
+            '"', r"\""
+        ).replace("\n", r"\n")
+        parts.append(f'{label}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value != value:  # NaN
+        return "NaN"
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _Family:
+    """One exposition family: TYPE/HELP header plus its samples."""
+
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.samples: List[str] = []
+
+    def add(self, suffix: str, labels: Dict[str, str], value: float) -> None:
+        self.samples.append(
+            f"{self.name}{suffix}{_label_suffix(labels)} "
+            f"{_format_value(value)}"
+        )
+
+    def render(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+            *self.samples,
+        ]
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    help: Optional[Dict[str, str]] = None,
+) -> str:
+    """The registry's current state as a text-exposition document.
+
+    ``help`` maps *registry* metric names (dotted, unlabeled) to HELP
+    text; unlisted families get a generated line.  Families are emitted
+    in sorted-name order so the document is deterministic (golden-output
+    testable).
+    """
+    help = help or {}
+    families: Dict[str, _Family] = {}
+
+    def family(
+        raw_name: str, exposed: str, kind: str, default_help: str
+    ) -> _Family:
+        existing = families.get(exposed)
+        if existing is None:
+            existing = families[exposed] = _Family(
+                exposed, kind, help.get(raw_name, default_help)
+            )
+        return existing
+
+    for key, counter in sorted(list(registry._counters.items())):
+        name, labels = parse_metric_key(key)
+        family(
+            name, prometheus_name(name, "_total"), "counter",
+            f"Monotonic counter {name}",
+        ).add("", labels, counter.value)
+    for key, gauge in sorted(list(registry._gauges.items())):
+        name, labels = parse_metric_key(key)
+        family(
+            name, prometheus_name(name), "gauge", f"Gauge {name}"
+        ).add("", labels, gauge.value)
+    for key, timer in sorted(list(registry._timers.items())):
+        name, labels = parse_metric_key(key)
+        f = family(
+            name, prometheus_name(name, "_seconds"), "summary",
+            f"Accumulated seconds of {name}",
+        )
+        f.add("_sum", labels, timer.seconds)
+        f.add("_count", labels, timer.count)
+    for key, histogram in sorted(list(registry._histograms.items())):
+        name, labels = parse_metric_key(key)
+        f = family(
+            name, prometheus_name(name, "_seconds"), "histogram",
+            f"Distribution of {name}",
+        )
+        for bound, cumulative in histogram.cumulative_buckets():
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _format_value(bound)
+            f.add("_bucket", bucket_labels, cumulative)
+        f.add("_sum", labels, histogram.sum)
+        f.add("_count", labels, histogram.count)
+
+    lines: List[str] = []
+    for exposed in sorted(families):
+        lines.extend(families[exposed].render())
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Parsing (tests + CI cross-checks)
+# ----------------------------------------------------------------------
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+class PrometheusParseError(ValueError):
+    """An exposition document line the parser cannot read."""
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_prometheus(
+    text: str,
+) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse an exposition document into ``{(name, labels): value}``.
+
+    ``labels`` is a sorted tuple of ``(key, value)`` pairs (hashable, so
+    the result is a flat dict).  Raises :class:`PrometheusParseError` on
+    a malformed sample line; comment (``#``) and blank lines are
+    skipped, as scrape consumers do.
+    """
+    out: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise PrometheusParseError(f"line {lineno}: unparsable: {line!r}")
+        labels: List[Tuple[str, str]] = []
+        raw = match.group("labels")
+        if raw:
+            for label, value in _LABEL.findall(raw):
+                labels.append((
+                    label,
+                    value.replace(r"\"", '"').replace(r"\n", "\n")
+                         .replace(r"\\", "\\"),
+                ))
+        try:
+            number = _parse_value(match.group("value"))
+        except ValueError as exc:
+            raise PrometheusParseError(
+                f"line {lineno}: bad value {match.group('value')!r}"
+            ) from exc
+        out[(match.group("name"), tuple(sorted(labels)))] = number
+    return out
+
+
+def sample_value(
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float],
+    name: str,
+    **labels: str,
+) -> Optional[float]:
+    """Convenience lookup into :func:`parse_prometheus` output."""
+    return samples.get((name, tuple(sorted(labels.items()))))
+
+
+def bucket_counts_monotonic(
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float],
+    family: str,
+) -> bool:
+    """Are all ``<family>_bucket`` series cumulative-monotonic in ``le``?"""
+    series: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]] = {}
+    for (name, labels), value in samples.items():
+        if name != f"{family}_bucket":
+            continue
+        le = dict(labels).get("le")
+        if le is None:
+            return False
+        rest = tuple(sorted(p for p in labels if p[0] != "le"))
+        series.setdefault(rest, []).append((_parse_value(le), value))
+    if not series:
+        return False
+    for points in series.values():
+        points.sort()
+        if any(b < a for (_, a), (_, b) in zip(points, points[1:])):
+            return False
+    return True
+
+
+def iter_families(text: str) -> Iterable[Tuple[str, str]]:
+    """Yield ``(family_name, type)`` from a document's # TYPE lines."""
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            yield name, kind

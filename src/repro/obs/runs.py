@@ -174,6 +174,10 @@ class RunManifest:
     artifacts: Dict[str, str] = field(default_factory=dict)
     metrics: Dict[str, float] = field(default_factory=dict)
     error: Optional[str] = None
+    #: Client request that produced this run (strategy-service runs
+    #: only; empty for direct ``repro.optimize`` calls).  The service's
+    #: access log holds the reverse mapping (request id -> run id).
+    request_id: str = ""
 
     def to_json(self) -> Dict[str, object]:
         document: Dict[str, object] = {
@@ -485,6 +489,10 @@ def _render_manifest(registry: RunRegistry, manifest: RunManifest) -> str:
         )
     if manifest.error:
         lines.append(f"error      {manifest.error}")
+    if manifest.request_id:
+        # Which client request produced this run — the forward half of
+        # the request<->run correlation (the access log is the reverse).
+        lines.append(f"request    {manifest.request_id}")
     if manifest.fingerprints:
         fp = manifest.fingerprints
         # The combined fingerprint is the run's configuration identity —

@@ -26,13 +26,18 @@ from __future__ import annotations
 import threading
 from typing import Dict, Optional
 
-from .client import Client, ServiceError
+from .client import Client, ServiceError, ServiceTimeout
 from .service import (
+    AccessLog,
+    METRIC_HELP,
     RequestError,
+    ServeTimeout,
     ServiceStats,
     StrategyService,
+    new_request_id,
     normalize_request,
     serve_forever,
+    serve_metrics_http,
 )
 from .store import (
     STORE_SCHEMA_VERSION,
@@ -44,20 +49,26 @@ from .store import (
 )
 
 __all__ = [
+    "AccessLog",
     "Client",
+    "METRIC_HELP",
     "RequestError",
     "STORE_SCHEMA_VERSION",
+    "ServeTimeout",
     "ServiceError",
     "ServiceStats",
+    "ServiceTimeout",
     "StoreSchemaError",
     "StoredStrategy",
     "StrategyService",
     "StrategyStore",
     "default_service",
     "default_store_root",
+    "new_request_id",
     "normalize_request",
     "request_fingerprint",
     "serve_forever",
+    "serve_metrics_http",
     "submit",
 ]
 

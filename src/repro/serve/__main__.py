@@ -3,16 +3,27 @@
 Commands::
 
     serve   [--host H] [--port P] [--workers N] [--store DIR]
-            [--capacity N] [--no-persist]
+            [--capacity N] [--no-persist] [--metrics-port P]
+            [--access-log FILE] [--request-timeout S] [--record-runs]
         Run the TCP service until a client sends shutdown.  Prints
         ``listening on HOST:PORT`` once bound (port 0 picks a free
-        port — parse this line to learn which).
+        port — parse this line to learn which).  ``--metrics-port``
+        additionally binds a plain-HTTP listener serving ``GET
+        /metrics`` (Prometheus exposition), ``/healthz``, ``/readyz``
+        (prints ``metrics on HOST:PORT``).
 
-    submit  MODEL TOPOLOGY [--batch B] [--port P] [--host H]
+    submit  MODEL TOPOLOGY [--batch B] [--timeout S] [--port P] [--host H]
         Send one optimize request and print the response JSON.
+
+    top     [--interval S] [--once] [--port P] [--host H]
+        Live dashboard over a running service (rates, hit ratio,
+        latency quantiles, in-flight).
 
     stats   [--port P] [--host H]     Print the service's counters.
     status  [--port P] [--host H]     Print the service's status.
+    metrics [--port P] [--host H]     Print the Prometheus exposition.
+    health  [--port P] [--host H]     Print liveness (exit 0/1).
+    ready   [--port P] [--host H]     Print readiness (exit 0/1).
     ping    [--port P] [--host H]     Liveness check (exit 0/1).
     shutdown [--port P] [--host H]    Stop a running service.
 """
@@ -59,16 +70,59 @@ def main(argv=None) -> int:
         "--no-persist", action="store_true",
         help="keep the store in memory only",
     )
+    serve_cmd.add_argument(
+        "--metrics-port", type=int, default=None, metavar="P",
+        help="also bind GET /metrics + /healthz + /readyz on this port "
+             "(0 picks a free one; prints 'metrics on HOST:PORT')",
+    )
+    serve_cmd.add_argument(
+        "--access-log", default=None, metavar="FILE",
+        help="append one JSON line per request to FILE",
+    )
+    serve_cmd.add_argument(
+        "--request-timeout", type=float, default=None, metavar="S",
+        help="default per-request deadline in seconds",
+    )
+    serve_cmd.add_argument(
+        "--record-runs", action="store_true",
+        help="record a run-registry manifest (with the originating "
+             "request id) per executed search",
+    )
+    serve_cmd.add_argument(
+        "--runs-dir", default=None,
+        help="registry root for --record-runs "
+             "(default: $REPRO_RUNS_DIR or ~/.repro/runs)",
+    )
 
     submit_cmd = commands.add_parser("submit", help="send one request")
     submit_cmd.add_argument("model")
     submit_cmd.add_argument("topology")
     submit_cmd.add_argument("--batch", type=int, default=None)
+    submit_cmd.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request deadline in seconds",
+    )
     _add_endpoint(submit_cmd)
+
+    top_cmd = commands.add_parser(
+        "top", help="live dashboard over a running service"
+    )
+    top_cmd.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period in seconds",
+    )
+    top_cmd.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (no TTY control codes)",
+    )
+    _add_endpoint(top_cmd)
 
     for name, help_text in (
         ("stats", "print service counters"),
         ("status", "print service status"),
+        ("metrics", "print the Prometheus exposition"),
+        ("health", "print liveness"),
+        ("ready", "print readiness"),
         ("ping", "liveness check"),
         ("shutdown", "stop a running service"),
     ):
@@ -81,24 +135,57 @@ def main(argv=None) -> int:
             root=args.store, capacity=args.capacity,
             persist=not args.no_persist,
         )
-        service = StrategyService(store=store, workers=args.workers)
+        service = StrategyService(
+            store=store, workers=args.workers,
+            request_timeout=args.request_timeout,
+            access_log=args.access_log,
+            record_runs=args.record_runs,
+            runs_root=args.runs_dir,
+        )
 
         def ready(host: str, port: int) -> None:
             print(f"listening on {host}:{port}", flush=True)
 
-        asyncio.run(serve_forever(service, args.host, args.port, ready=ready))
+        def metrics_ready(host: str, port: int) -> None:
+            print(f"metrics on {host}:{port}", flush=True)
+
+        asyncio.run(serve_forever(
+            service, args.host, args.port, ready=ready,
+            metrics_port=args.metrics_port, metrics_ready=metrics_ready,
+        ))
         return 0
+
+    if args.command == "top":
+        from .top import run_top
+
+        return run_top(
+            args.host, args.port, interval=args.interval, once=args.once
+        )
 
     try:
         with _client(args) as client:
             if args.command == "submit":
                 response = client.optimize(
-                    args.model, args.topology, global_batch=args.batch
+                    args.model, args.topology, global_batch=args.batch,
+                    timeout=args.timeout,
                 )
             elif args.command == "stats":
                 response = client.stats()
             elif args.command == "status":
                 response = client.status()
+            elif args.command == "metrics":
+                sys.stdout.write(client.metrics())
+                return 0
+            elif args.command == "health":
+                response = client.health()
+                json.dump(response, sys.stdout, indent=2)
+                print()
+                return 0 if response.get("healthy") else 1
+            elif args.command == "ready":
+                response = client.readiness()
+                json.dump(response, sys.stdout, indent=2)
+                print()
+                return 0 if response.get("ready") else 1
             elif args.command == "ping":
                 return 0 if client.ping() else 1
             else:

@@ -20,11 +20,25 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import uuid
 from typing import Dict, Optional
 
 
 class ServiceError(RuntimeError):
     """The service answered with ``status: error``."""
+
+
+class ServiceTimeout(ServiceError, TimeoutError):
+    """The service reported the request exceeded its deadline."""
+
+
+def new_request_id() -> str:
+    """Mint a client-side request id (16 hex chars).
+
+    Standalone (not imported from the service module) so the client
+    stays importable without pulling in the engine.
+    """
+    return uuid.uuid4().hex[:16]
 
 
 class Client:
@@ -49,7 +63,10 @@ class Client:
             raise ServiceError("service closed the connection")
         response = json.loads(line)
         if response.get("status") == "error":
-            raise ServiceError(response.get("error", "unknown service error"))
+            error = response.get("error", "unknown service error")
+            if response.get("timeout"):
+                raise ServiceTimeout(error)
+            raise ServiceError(error)
         return response
 
     # ------------------------------------------------------------------
@@ -60,13 +77,30 @@ class Client:
         *,
         global_batch: Optional[int] = None,
         config: Optional[Dict[str, object]] = None,
+        request_id: Optional[str] = None,
+        timeout: Optional[float] = None,
     ) -> Dict[str, object]:
-        """Request a strategy; returns the service's response document."""
-        request: Dict[str, object] = {"model": model, "topology": topology}
+        """Request a strategy; returns the service's response document.
+
+        Every request carries a ``request_id`` (minted here when not
+        given) that the service threads through its events, logs,
+        access log, and — with run recording on — the run manifest, so
+        a client can correlate its call with everything the service did
+        for it.  ``timeout`` (seconds) sets a per-request deadline; the
+        service answers a breach with an error the client raises as
+        :class:`ServiceTimeout`.
+        """
+        request: Dict[str, object] = {
+            "model": model,
+            "topology": topology,
+            "request_id": request_id or new_request_id(),
+        }
         if global_batch is not None:
             request["global_batch"] = global_batch
         if config is not None:
             request["config"] = config
+        if timeout is not None:
+            request["timeout"] = timeout
         return self._call({"op": "optimize", "request": request})
 
     def stats(self) -> Dict[str, object]:
@@ -74,6 +108,16 @@ class Client:
 
     def status(self) -> Dict[str, object]:
         return self._call({"op": "status"})
+
+    def health(self) -> Dict[str, object]:
+        return self._call({"op": "health"})
+
+    def readiness(self) -> Dict[str, object]:
+        return self._call({"op": "ready"})
+
+    def metrics(self) -> str:
+        """The service's Prometheus text exposition document."""
+        return str(self._call({"op": "metrics"}).get("exposition", ""))
 
     def ping(self) -> bool:
         return bool(self._call({"op": "ping"}).get("pong"))

@@ -21,20 +21,42 @@ threads; reentrancy comes from per-request contexts).  The asyncio TCP
 front-end lives in :func:`serve_forever` / ``python -m repro.serve``;
 in-process callers use :meth:`StrategyService.submit` directly.
 
-Every decision is observable: ``serve.request`` / ``serve.hit`` /
-``serve.miss`` / ``serve.coalesce`` / ``serve.warm`` /
-``serve.complete`` events on the service's bus, and a :meth:`stats`
-snapshot (the CI smoke gate's source of truth).
+Every decision is observable three ways:
+
+* ``serve.*`` events (request/hit/miss/coalesce/warm/complete/timeout,
+  each stamped with the client ``request_id``) on the service's bus;
+* a :meth:`stats` counter snapshot (the CI smoke gate's source of
+  truth), mirrored 1:1 into the service's
+  :class:`~repro.obs.MetricsRegistry` as ``serve.<counter>``;
+* latency **histograms** (end-to-end request latency labeled by
+  outcome, search wall-clock, store lookup time, coalesce wait) in the
+  same registry, rendered as Prometheus text exposition by the
+  ``metrics`` protocol verb and the plain-HTTP ``GET /metrics`` /
+  ``/healthz`` / ``/readyz`` listener (``serve_forever(...,
+  metrics_port=)``).
+
+Each request carries a **request id** (client-minted, server-minted as
+a fallback) threaded through events, log records
+(:func:`repro.obs.log.request_id_context`), the JSONL **access log**
+(one line per request: id, fingerprints, outcome, queue/search/total
+durations), and — when ``record_runs`` is on — the run manifest, so
+``runs show`` answers "which request produced this run" and the access
+log answers the reverse.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
+import os
 import threading
+import time
+import uuid
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, IO, Optional, Tuple, Union
 
 from ..cluster import Topology, topology_from
 from ..core.calculator import FastTConfig
@@ -42,6 +64,7 @@ from ..core.context import SearchContext, WarmStartSeed
 from ..core.os_dpos import SearchOptions
 from ..graph.delta import graph_signature
 from ..obs.events import EventBus
+from ..obs.metrics import MetricsRegistry
 from ..obs import log as obs_log
 from .store import (
     STORE_SCHEMA_VERSION,
@@ -51,6 +74,32 @@ from .store import (
 )
 
 _logger = obs_log.get_logger(__name__)
+
+#: HELP text for the service's exposition families (everything else
+#: gets a generated line).
+METRIC_HELP = {
+    "serve.requests": "Optimization requests received",
+    "serve.hits": "Requests answered from the strategy store",
+    "serve.misses": "Requests that required a search",
+    "serve.coalesced": "Requests folded onto an identical in-flight leader",
+    "serve.searches": "Strategy searches executed",
+    "serve.warm_starts": "Searches seeded from a cached near-miss strategy",
+    "serve.warm_fallbacks": "Warm-started searches that fell back cold",
+    "serve.evictions": "Strategy-store evictions",
+    "serve.errors": "Requests that failed",
+    "serve.timeouts": "Requests that exceeded their deadline",
+    "serve.inflight": "Searches currently in flight",
+    "serve.request.latency": "End-to-end request latency",
+    "serve.search": "Strategy-search wall-clock per request",
+    "serve.store.lookup": "Strategy-store lookup time per request",
+    "serve.coalesce.wait": "Time followers spent waiting on their leader",
+    "serve.queue.wait": "Time requests waited for a worker thread",
+}
+
+
+def new_request_id() -> str:
+    """Mint a request id (16 hex chars; client-side minting preferred)."""
+    return uuid.uuid4().hex[:16]
 
 #: Fields a request's ``config``/``config.search`` override may set.
 #: Everything else in FastTConfig is service policy, not tenant input.
@@ -62,6 +111,60 @@ _SEARCH_FIELDS = frozenset(SearchOptions.__dataclass_fields__)
 
 class RequestError(ValueError):
     """A malformed or unserviceable optimization request."""
+
+
+class ServeTimeout(TimeoutError):
+    """A request exceeded its deadline while waiting for an answer.
+
+    Raised to *followers* of a coalesced request whose leader has not
+    finished within the deadline, so a wedged search hangs one worker
+    thread, not every caller piled onto it.  The leader itself cannot be
+    interrupted mid-search; the slow-request watchdog
+    (:meth:`StrategyService.health`) degrades ``/healthz`` instead.
+    """
+
+    def __init__(self, message: str, request_id: str = "") -> None:
+        super().__init__(message)
+        self.request_id = request_id
+
+
+class AccessLog:
+    """JSONL access log: one line per completed request.
+
+    Each line carries the request id, the request and answer
+    fingerprints, the outcome (``hit``/``warm``/``search``/
+    ``coalesced``/``timeout``/``error``), and the queue/search/total
+    durations — the reverse half of the request<->run correlation
+    (``runs show`` prints the forward half from the manifest).
+
+    Writes are line-buffered under a lock, so concurrent worker threads
+    interleave whole lines, never fragments.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            parent = os.path.dirname(target)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self.path: Optional[str] = target
+            self._handle: IO[str] = open(target, "a")
+            self._owns_handle = True
+        else:
+            self.path = getattr(target, "name", None)
+            self._handle = target
+            self._owns_handle = False
+        self._lock = threading.Lock()
+
+    def write(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True, default=repr)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_handle:
+                self._handle.close()
 
 
 def normalize_request(request: Dict[str, object]) -> Dict[str, object]:
@@ -133,6 +236,7 @@ class ServiceStats:
     warm_fallbacks: int = 0
     evictions: int = 0
     errors: int = 0
+    timeouts: int = 0
 
     def to_json(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -153,6 +257,25 @@ class StrategyService:
             endpoints, tests) can always attach.
         warm_ratio: Structural-edit ceiling for warm-start matching
             (see :meth:`~repro.graph.delta.GraphDelta.is_warm_startable`).
+        metrics: Registry receiving the service's counters and latency
+            histograms.  A private enabled registry is created when
+            omitted; pass :class:`~repro.obs.NullMetricsRegistry` to
+            disable recording entirely (the overhead-pin test does).
+        request_timeout: Default per-request deadline in seconds (None =
+            wait forever).  A request may override it with its own
+            ``timeout`` key.  Only followers of a coalesced request can
+            be failed fast — see :class:`ServeTimeout`.
+        watchdog_deadline: Seconds after which an unfinished in-flight
+            search marks the service degraded (:meth:`health`).
+            Defaults to ``request_timeout`` (or 300s when that is also
+            unset).
+        access_log: Path (appended) or open text handle for the JSONL
+            access log; None disables it.
+        record_runs: Record a run-registry manifest per executed search,
+            stamped with the originating ``request_id`` (so ``runs
+            show`` answers "which request produced this run").
+        runs_root: Registry root for ``record_runs`` (default:
+            ``$REPRO_RUNS_DIR`` or ``~/.repro/runs``).
     """
 
     def __init__(
@@ -162,6 +285,12 @@ class StrategyService:
         workers: int = 2,
         events: Optional[EventBus] = None,
         warm_ratio: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        request_timeout: Optional[float] = None,
+        watchdog_deadline: Optional[float] = None,
+        access_log: Optional[Union[str, IO[str], AccessLog]] = None,
+        record_runs: bool = False,
+        runs_root: Optional[str] = None,
     ) -> None:
         self.events = events if events is not None else EventBus()
         self.store = store if store is not None else StrategyStore(
@@ -172,73 +301,219 @@ class StrategyService:
         self.config = config or FastTConfig()
         self.workers = max(1, int(workers))
         self.warm_ratio = warm_ratio
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.request_timeout = request_timeout
+        if watchdog_deadline is None:
+            watchdog_deadline = (
+                request_timeout if request_timeout is not None else 300.0
+            )
+        self.watchdog_deadline = watchdog_deadline
+        if access_log is None or isinstance(access_log, AccessLog):
+            self.access_log = access_log
+        else:
+            self.access_log = AccessLog(access_log)
+        self.record_runs = record_runs
+        self.runs_root = runs_root
         self.stats = ServiceStats()
         self._stats_lock = threading.Lock()
         self._inflight: Dict[str, Future] = {}
+        #: request_key -> monotonic start time of the leader's search;
+        #: the slow-request watchdog reads it.
+        self._inflight_started: Dict[str, float] = {}
         self._inflight_lock = threading.Lock()
         self._started = False
+        self._shutting_down = False
         if self.events.enabled:
             self.events.subscribe(self._on_event)
+        # Pre-register every stats counter and the overall latency
+        # histogram so a scrape before any traffic still yields the full
+        # family set (all zeros) instead of an empty document.
+        for field in ServiceStats.__dataclass_fields__:
+            self.metrics.counter(f"serve.{field}")
+        self.metrics.gauge("serve.inflight")
+        self.metrics.histogram("serve.request.latency")
 
     # -- telemetry ------------------------------------------------------
     def _on_event(self, event) -> None:
         if event.kind == "serve.evict":
-            with self._stats_lock:
-                self.stats.evictions += 1
+            self._bump("evictions")
 
     def _bump(self, field: str, amount: int = 1) -> None:
         with self._stats_lock:
             setattr(self.stats, field, getattr(self.stats, field) + amount)
+        # Mirror 1:1 into the registry so the Prometheus exposition and
+        # the stats endpoint can never disagree about counts.
+        self.metrics.counter(f"serve.{field}").inc(amount)
+
+    def _observe(self, name: str, seconds: float, **labels: str) -> None:
+        self.metrics.histogram(name, **labels).observe(seconds)
+
+    def _access(self, record: Dict[str, object]) -> None:
+        if self.access_log is not None:
+            try:
+                self.access_log.write(record)
+            except OSError:  # pragma: no cover - disk-full etc.
+                _logger.exception("access-log write failed")
 
     # -- the three answer paths ----------------------------------------
-    def submit(self, request: Dict[str, object]) -> Dict[str, object]:
+    def submit(
+        self,
+        request: Dict[str, object],
+        *,
+        request_id: Optional[str] = None,
+        queued_at: Optional[float] = None,
+    ) -> Dict[str, object]:
         """Answer one request (blocking; coalesces with identical peers).
 
         Returns a JSON-serializable response document with ``source``
         one of ``"cache"``, ``"warm"``, ``"search"`` — or ``"coalesced"``
         wrapping the leader's source.
+
+        ``request_id`` (or a ``request_id`` key in the request dict; the
+        client mints one by default) correlates events, log records, the
+        access log, and — with ``record_runs`` — the run manifest.  A
+        ``timeout`` key (or the service-wide ``request_timeout``) bounds
+        how long a *coalesced follower* waits before failing with
+        :class:`ServeTimeout`.  ``queued_at`` is a ``time.monotonic()``
+        stamp taken when the request was accepted (the async front-end
+        passes it so worker-pool queueing shows up in
+        ``serve.queue.wait``).  Neither ``request_id`` nor ``timeout``
+        participates in the coalescing identity.
         """
+        start = time.monotonic()
+        raw_timeout: object = None
+        if isinstance(request, dict):
+            if not request_id and request.get("request_id"):
+                request_id = str(request["request_id"])
+            raw_timeout = request.get("timeout")
+        request_id = request_id or new_request_id()
+        if raw_timeout is None:
+            timeout = self.request_timeout
+        else:
+            try:
+                timeout = float(raw_timeout)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise RequestError(
+                    f"'timeout' must be a number, got {raw_timeout!r}"
+                )
+        queue_seconds = 0.0
+        if queued_at is not None:
+            queue_seconds = max(0.0, start - queued_at)
+            self._observe("serve.queue.wait", queue_seconds)
+
         document = normalize_request(request)
         request_key = request_fingerprint(document, STORE_SCHEMA_VERSION)
         self._bump("requests")
-        future: Future
-        leader = False
-        with self._inflight_lock:
-            existing = self._inflight.get(request_key)
-            if existing is None:
-                future = Future()
-                self._inflight[request_key] = future
-                leader = True
-            else:
-                future = existing
-        if not leader:
-            self._bump("coalesced")
-            if self.events.enabled:
-                self.events.emit("serve.coalesce", request=request_key)
-            response = dict(future.result())
-            response["coalesced"] = True
-            return response
+        outcome = "error"
+        answer_key = ""
+        run_id = ""
+        search_seconds = 0.0
         try:
-            response = self._answer(document, request_key)
-            future.set_result(response)
-            return response
-        except BaseException as exc:
+            with obs_log.request_id_context(request_id):
+                future: Future
+                leader = False
+                with self._inflight_lock:
+                    existing = self._inflight.get(request_key)
+                    if existing is None:
+                        future = Future()
+                        self._inflight[request_key] = future
+                        self._inflight_started[request_key] = start
+                        leader = True
+                    else:
+                        future = existing
+                if not leader:
+                    self._bump("coalesced")
+                    if self.events.enabled:
+                        self.events.emit(
+                            "serve.coalesce", request=request_key,
+                            request_id=request_id,
+                        )
+                    wait_start = time.monotonic()
+                    try:
+                        response = dict(future.result(timeout=timeout))
+                    finally:
+                        self._observe(
+                            "serve.coalesce.wait",
+                            time.monotonic() - wait_start,
+                        )
+                    response["coalesced"] = True
+                    response["request_id"] = request_id
+                    outcome = "coalesced"
+                    answer_key = str(response.get("key", ""))
+                    run_id = str(response.get("run_id") or "")
+                    return response
+                self.metrics.gauge("serve.inflight").inc()
+                try:
+                    response = self._answer(document, request_key, request_id)
+                    future.set_result(response)
+                    outcome = str(response.get("source", "search"))
+                    answer_key = str(response.get("key", ""))
+                    run_id = str(response.get("run_id") or "")
+                    search_seconds = float(
+                        response.get("search_seconds") or 0.0
+                    )
+                    return response
+                except BaseException as exc:
+                    future.set_exception(exc)
+                    raise
+                finally:
+                    self.metrics.gauge("serve.inflight").dec()
+                    with self._inflight_lock:
+                        self._inflight.pop(request_key, None)
+                        self._inflight_started.pop(request_key, None)
+        except ServeTimeout:
+            outcome = "timeout"
+            raise
+        except FutureTimeoutError:
+            # Follower's wait on the leader expired.  (Ordered after
+            # ServeTimeout: on 3.11+ FutureTimeoutError aliases the
+            # builtin TimeoutError, which ServeTimeout subclasses.)
+            outcome = "timeout"
+            self._bump("timeouts")
+            if self.events.enabled:
+                self.events.emit(
+                    "serve.timeout", request=request_key,
+                    request_id=request_id, deadline=timeout,
+                )
+            raise ServeTimeout(
+                f"request {request_id} timed out after {timeout:.3f}s "
+                f"waiting for in-flight leader {request_key[:12]}",
+                request_id=request_id,
+            ) from None
+        except BaseException:
             self._bump("errors")
-            future.set_exception(exc)
             raise
         finally:
-            with self._inflight_lock:
-                self._inflight.pop(request_key, None)
+            total = time.monotonic() - start
+            # Unlabeled overall series first (its _count is the CI
+            # cross-check against stats.requests), then per-outcome.
+            self._observe("serve.request.latency", total)
+            self._observe("serve.request.latency", total, outcome=outcome)
+            self._access({
+                "ts": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "request_id": request_id,
+                "request": request_key,
+                "key": answer_key,
+                "run_id": run_id,
+                "model": str(document.get("model", "")),
+                "outcome": outcome,
+                "queue_s": round(queue_seconds, 6),
+                "search_s": round(search_seconds, 6),
+                "total_s": round(total, 6),
+            })
 
     def _answer(
-        self, document: Dict[str, object], request_key: str
+        self,
+        document: Dict[str, object],
+        request_key: str,
+        request_id: str,
     ) -> Dict[str, object]:
         from ..obs.runs import config_fingerprints
 
         if self.events.enabled:
             self.events.emit(
                 "serve.request", request=request_key,
-                model=document["model"],
+                request_id=request_id, model=document["model"],
             )
         config = _build_config(self.config, document.get("config") or {})
         topology = topology_from(document["topology"])
@@ -257,16 +532,30 @@ class StrategyService:
         fingerprints = config_fingerprints(session.input_graph, topology, config)
         key = fingerprints["combined"]
 
+        lookup_start = time.monotonic()
         cached = self.store.get(key)
+        self._observe(
+            "serve.store.lookup", time.monotonic() - lookup_start,
+            result="hit" if cached is not None else "miss",
+        )
         if cached is not None:
             self._bump("hits")
             if self.events.enabled:
-                self.events.emit("serve.hit", request=request_key, key=key)
-            return self._respond(cached, source="cache", request_key=request_key)
+                self.events.emit(
+                    "serve.hit", request=request_key, key=key,
+                    request_id=request_id,
+                )
+            return self._respond(
+                cached, source="cache", request_key=request_key,
+                request_id=request_id,
+            )
 
         self._bump("misses")
         if self.events.enabled:
-            self.events.emit("serve.miss", request=request_key, key=key)
+            self.events.emit(
+                "serve.miss", request=request_key, key=key,
+                request_id=request_id,
+            )
 
         signature = graph_signature(session.input_graph)
         warm_start, warm_source = self._warm_seed(signature, fingerprints, batch)
@@ -277,12 +566,57 @@ class StrategyService:
             if self.events.enabled:
                 self.events.emit(
                     "serve.warm", request=request_key, key=key,
+                    request_id=request_id,
                     seed=warm_source, splits=len(warm_start.split_list),
                 )
-        report = session.optimize(context=context)
+        recorder = None
+        if self.record_runs:
+            recorder = self._begin_run(request_id)
+        search_start = time.monotonic()
+        try:
+            report = session.optimize(context=context)
+        except BaseException as exc:
+            self._observe(
+                "serve.search", time.monotonic() - search_start,
+                seed="warm" if warm_start is not None else "cold",
+                result="error",
+            )
+            if recorder is not None:
+                recorder.finish(
+                    status="failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                    model=spec.name, global_batch=batch,
+                    devices=len(topology.devices),
+                    fingerprints=fingerprints,
+                )
+            raise
+        search_seconds = time.monotonic() - search_start
+        self._observe(
+            "serve.search", search_seconds,
+            seed="warm" if warm_start is not None else "cold",
+            result="ok",
+        )
         fallbacks = int(report.metrics.get("search.warm_fallbacks", 0))
         if fallbacks:
             self._bump("warm_fallbacks")
+        run_id = ""
+        if recorder is not None:
+            run_id = recorder.run_id
+            recorder.finish(
+                status="completed",
+                model=spec.name,
+                global_batch=batch,
+                devices=len(topology.devices),
+                fingerprints=fingerprints,
+                makespan=report.measured_time,
+                training_speed=(
+                    batch / report.measured_time
+                    if report.measured_time else 0.0
+                ),
+                strategy_label=report.strategy.label,
+                splits=len(report.strategy.split_list),
+                phases={"search": search_seconds},
+            )
         entry = StoredStrategy(
             key=key,
             fingerprints=fingerprints,
@@ -295,15 +629,37 @@ class StrategyService:
                 batch / report.measured_time if report.measured_time else 0.0
             ),
             signature=signature,
+            run_id=run_id or None,
         )
         self.store.put(entry)
         source = "warm" if warm_start is not None and not fallbacks else "search"
         if self.events.enabled:
             self.events.emit(
                 "serve.complete", request=request_key, key=key,
-                source=source, makespan=entry.makespan,
+                request_id=request_id,
+                source=source, makespan=entry.makespan, run_id=run_id,
             )
-        return self._respond(entry, source=source, request_key=request_key)
+        return self._respond(
+            entry, source=source, request_key=request_key,
+            request_id=request_id, search_seconds=search_seconds,
+        )
+
+    def _begin_run(self, request_id: str):
+        """Mint a run-registry manifest for one executed search.
+
+        The manifest carries the originating ``request_id`` — the
+        forward half of the request<->run correlation (``runs show``
+        prints it; the access log maps the other direction).
+        """
+        from ..obs.runs import RunRegistry
+
+        try:
+            recorder = RunRegistry(self.runs_root).create()
+        except OSError:  # pragma: no cover - registry root unwritable
+            _logger.exception("run recording disabled for this request")
+            return None
+        recorder.manifest.request_id = request_id
+        return recorder
 
     def _warm_seed(
         self,
@@ -337,12 +693,27 @@ class StrategyService:
         return seed, entry.key
 
     def _respond(
-        self, entry: StoredStrategy, *, source: str, request_key: str
+        self,
+        entry: StoredStrategy,
+        *,
+        source: str,
+        request_key: str,
+        request_id: str = "",
+        search_seconds: float = 0.0,
     ) -> Dict[str, object]:
+        # Inside the caller's request_id_context, so the record is
+        # stamped with the request id it answers.
+        _logger.info(
+            "answered from %s (key %s, makespan %.6fs)",
+            source, entry.key[:12], entry.makespan,
+        )
         return {
             "status": "ok",
             "source": source,
             "request": request_key,
+            "request_id": request_id,
+            "run_id": entry.run_id or "",
+            "search_seconds": round(search_seconds, 6),
             "key": entry.key,
             "model": entry.model,
             "global_batch": entry.global_batch,
@@ -380,10 +751,89 @@ class StrategyService:
         with self._stats_lock:
             return {"status": "ok", "stats": self.stats.to_json()}
 
+    def health(self) -> Dict[str, object]:
+        """Liveness document: degraded when the watchdog sees stuck work.
+
+        A request in flight longer than ``watchdog_deadline`` marks the
+        service ``degraded`` (an operator signal: a leader search is
+        wedged and cannot be interrupted — see :class:`ServeTimeout`).
+        Shutting down is reported but still healthy (clean exit).
+        """
+        now = time.monotonic()
+        with self._inflight_lock:
+            started = dict(self._inflight_started)
+        stuck = {
+            key[:12]: round(now - begun, 3)
+            for key, begun in started.items()
+            if now - begun > self.watchdog_deadline
+        }
+        healthy = not stuck
+        return {
+            "status": "ok" if healthy else "degraded",
+            "healthy": healthy,
+            "inflight": len(started),
+            "stuck": stuck,
+            "watchdog_deadline": self.watchdog_deadline,
+            "shutting_down": self._shutting_down,
+        }
+
+    def readiness(self) -> Dict[str, object]:
+        """Readiness document: can this process answer a request now?
+
+        Not ready while shutting down, when the worker pool never
+        started (async front-end not up — in-process callers set
+        nothing, so a bare service is ready), or when the strategy
+        store's backing directory has become unusable.
+        """
+        reasons = []
+        if self._shutting_down:
+            reasons.append("shutting down")
+        store_ok = True
+        try:
+            entries = len(self.store)
+            # A persistent root that does not exist yet is fine (created
+            # on first put); one that exists but is unwritable is not.
+            if (
+                self.store.persist
+                and os.path.isdir(self.store.root)
+                and not os.access(self.store.root, os.W_OK)
+            ):
+                store_ok = False
+                reasons.append(f"store root not writable: {self.store.root}")
+        except Exception as exc:  # pragma: no cover - corrupt store
+            store_ok = False
+            entries = -1
+            reasons.append(f"store unusable: {type(exc).__name__}: {exc}")
+        ready = not reasons
+        return {
+            "status": "ok" if ready else "unavailable",
+            "ready": ready,
+            "reasons": reasons,
+            "store": {"ok": store_ok, "entries": entries},
+            "workers": self.workers,
+        }
+
+    def metrics_document(self) -> str:
+        """The registry rendered as Prometheus text exposition."""
+        from ..obs.prometheus import render_prometheus
+
+        return render_prometheus(self.metrics, help=METRIC_HELP)
+
+    def close(self) -> None:
+        """Flush and close the access log (idempotent)."""
+        if self.access_log is not None:
+            self.access_log.close()
+
 
 # ----------------------------------------------------------------------
 # asyncio TCP front-end: one JSON document per line, one back.
 # ----------------------------------------------------------------------
+
+#: Grace added to a request's deadline for the event-loop backstop: the
+#: follower-side ServeTimeout should fire first; wait_for only catches a
+#: wedged *leader* (whose search thread cannot be cancelled).
+_BACKSTOP_GRACE = 30.0
+
 
 async def handle_connection(
     service: StrategyService,
@@ -407,18 +857,64 @@ async def handle_connection(
                     response = service.stats_json()
                 elif op == "status":
                     response = service.status()
+                elif op == "health":
+                    response = service.health()
+                elif op == "ready":
+                    response = service.readiness()
+                elif op == "metrics":
+                    response = {
+                        "status": "ok",
+                        "exposition": service.metrics_document(),
+                    }
                 elif op == "shutdown":
                     response = {"status": "ok", "stopping": True}
+                    service._shutting_down = True
                     shutdown.set()
                 elif op == "optimize":
-                    response = await loop.run_in_executor(
-                        pool, service.submit, message.get("request") or {}
+                    request = message.get("request") or {}
+                    call = functools.partial(
+                        service.submit, request,
+                        queued_at=time.monotonic(),
                     )
+                    deadline = None
+                    raw = request.get("timeout") if isinstance(
+                        request, dict
+                    ) else None
+                    if raw is not None:
+                        try:
+                            deadline = float(raw)
+                        except (TypeError, ValueError):
+                            deadline = None
+                    elif service.request_timeout is not None:
+                        deadline = service.request_timeout
+                    task = loop.run_in_executor(pool, call)
+                    if deadline is None:
+                        response = await task
+                    else:
+                        # Backstop for a wedged leader: the worker thread
+                        # keeps running (it cannot be cancelled), but the
+                        # connection gets its error instead of hanging.
+                        response = await asyncio.wait_for(
+                            asyncio.shield(task),
+                            timeout=deadline + _BACKSTOP_GRACE,
+                        )
                 else:
                     response = {"status": "error",
                                 "error": f"unknown op {op!r}"}
             except RequestError as exc:
                 response = {"status": "error", "error": str(exc)}
+            except ServeTimeout as exc:
+                response = {
+                    "status": "error", "error": str(exc),
+                    "timeout": True,
+                    "request_id": exc.request_id,
+                }
+            except asyncio.TimeoutError:
+                response = {
+                    "status": "error", "timeout": True,
+                    "error": "request deadline exceeded "
+                             "(leader search still running)",
+                }
             except Exception as exc:  # pragma: no cover - defensive
                 _logger.exception("request failed")
                 response = {"status": "error",
@@ -431,29 +927,133 @@ async def handle_connection(
         writer.close()
 
 
+# ----------------------------------------------------------------------
+# Plain-HTTP observability listener: GET /metrics, /healthz, /readyz.
+# ----------------------------------------------------------------------
+
+async def _handle_http_scrape(
+    service: StrategyService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Answer one HTTP/1.0-style scrape and close (curl/Prometheus-grade).
+
+    Deliberately minimal — request line + headers in, one response out —
+    so the service stays dependency-free.  Anything but a GET for a
+    known path gets a 404/405.
+    """
+    from ..obs.prometheus import CONTENT_TYPE
+
+    try:
+        request_line = await reader.readline()
+        try:
+            method, path, _ = request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            writer.close()
+            return
+        # Drain headers (ignored) until the blank line.
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+        path = path.split("?", 1)[0]
+        if method.upper() != "GET":
+            status, content_type, body = (
+                "405 Method Not Allowed", "text/plain", "GET only\n"
+            )
+        elif path == "/metrics":
+            status = "200 OK"
+            content_type = CONTENT_TYPE
+            body = service.metrics_document()
+        elif path == "/healthz":
+            health = service.health()
+            status = "200 OK" if health["healthy"] else "503 Service Unavailable"
+            content_type = "application/json"
+            body = json.dumps(health) + "\n"
+        elif path == "/readyz":
+            readiness = service.readiness()
+            status = "200 OK" if readiness["ready"] else "503 Service Unavailable"
+            content_type = "application/json"
+            body = json.dumps(readiness) + "\n"
+        else:
+            status, content_type, body = (
+                "404 Not Found", "text/plain",
+                "try /metrics, /healthz, or /readyz\n",
+            )
+        payload = body.encode()
+        writer.write(
+            (
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("latin-1") + payload
+        )
+        await writer.drain()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass  # scraper went away mid-request; nothing to answer
+    finally:
+        writer.close()
+
+
+async def serve_metrics_http(
+    service: StrategyService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: Optional[Callable[[str, int], None]] = None,
+) -> "asyncio.AbstractServer":
+    """Bind the GET /metrics + /healthz + /readyz listener; returns it."""
+    server = await asyncio.start_server(
+        lambda r, w: _handle_http_scrape(service, r, w), host, port,
+    )
+    bound = server.sockets[0].getsockname()
+    _logger.info("metrics on http://%s:%s/metrics", bound[0], bound[1])
+    if ready is not None:
+        ready(bound[0], bound[1])
+    return server
+
+
 async def serve_forever(
     service: StrategyService,
     host: str = "127.0.0.1",
     port: int = 0,
     ready: Optional[Callable[[str, int], None]] = None,
+    metrics_port: Optional[int] = None,
+    metrics_ready: Optional[Callable[[str, int], None]] = None,
 ) -> None:
     """Run the TCP front-end until a client sends ``{"op": "shutdown"}``.
 
     ``ready(host, port)`` is invoked once the socket is bound (port 0
     picks a free port; this is how callers learn which).
+    ``metrics_port`` additionally binds the plain-HTTP observability
+    listener (``GET /metrics`` Prometheus exposition, ``/healthz``,
+    ``/readyz``) on the same host; ``metrics_ready`` learns its port.
     """
     shutdown = asyncio.Event()
     pool = ThreadPoolExecutor(
         max_workers=service.workers, thread_name_prefix="repro-serve"
     )
+    service._started = True
     server = await asyncio.start_server(
         lambda r, w: handle_connection(service, pool, r, w, shutdown),
         host, port,
     )
+    metrics_server = None
+    if metrics_port is not None:
+        metrics_server = await serve_metrics_http(
+            service, host, metrics_port, ready=metrics_ready
+        )
     bound = server.sockets[0].getsockname()
     _logger.info("serving on %s:%s", bound[0], bound[1])
     if ready is not None:
         ready(bound[0], bound[1])
-    async with server:
-        await shutdown.wait()
-    pool.shutdown(wait=False)
+    try:
+        async with server:
+            await shutdown.wait()
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
+            await metrics_server.wait_closed()
+        pool.shutdown(wait=False)
+        service.close()

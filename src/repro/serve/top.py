@@ -1,0 +1,165 @@
+"""``python -m repro.serve top`` — live dashboard over a running service.
+
+Polls the service's ``stats`` and ``metrics`` endpoints every
+``interval`` seconds and repaints a compact TTY panel in place (via
+:class:`repro.obs.progress.LivePanel`):
+
+* request rate (delta between polls) and lifetime totals;
+* hit / warm-start / coalesce ratios;
+* p50 / p95 / p99 end-to-end latency, read straight out of the
+  service's Prometheus exposition (the ``serve.request.latency``
+  histogram's cumulative buckets);
+* in-flight searches, evictions, timeouts, errors, health.
+
+Pure consumer: everything rendered here is computed from the two public
+endpoints, so the dashboard exercises exactly what an external scraper
+would see.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.progress import LivePanel, format_seconds
+from .client import Client, ServiceError
+
+_LatencySamples = Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]
+
+#: Exposition family holding the overall (unlabeled) latency histogram.
+LATENCY_FAMILY = "repro_serve_request_latency_seconds"
+
+
+def quantile_from_samples(
+    samples: _LatencySamples,
+    q: float,
+    family: str = LATENCY_FAMILY,
+    **labels: str,
+) -> Optional[float]:
+    """Estimate a quantile from a scraped histogram's ``_bucket`` series.
+
+    Standard Prometheus ``histogram_quantile`` math: find the first
+    cumulative bucket covering rank ``q * count``, interpolate linearly
+    inside it.  Returns None when the family is absent or empty.
+    """
+    wanted = tuple(sorted(labels.items()))
+    points: List[Tuple[float, float]] = []
+    for (name, sample_labels), value in samples.items():
+        if name != f"{family}_bucket":
+            continue
+        rest = tuple(sorted(p for p in sample_labels if p[0] != "le"))
+        if rest != wanted:
+            continue
+        le = dict(sample_labels)["le"]
+        bound = math.inf if le == "+Inf" else float(le)
+        points.append((bound, value))
+    if not points:
+        return None
+    points.sort()
+    total = points[-1][1]
+    if total <= 0:
+        return None
+    rank = max(0.0, min(1.0, q)) * total
+    previous_bound, previous_cumulative = 0.0, 0.0
+    for bound, cumulative in points:
+        if cumulative >= rank:
+            if bound == math.inf:
+                return previous_bound
+            in_bucket = cumulative - previous_cumulative
+            if in_bucket <= 0:
+                return bound
+            fraction = (rank - previous_cumulative) / in_bucket
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_cumulative = bound, cumulative
+    return previous_bound
+
+
+def _ratio(part: float, whole: float) -> str:
+    if whole <= 0:
+        return "  -  "
+    return f"{100.0 * part / whole:4.1f}%"
+
+
+def render_frame(
+    stats: Dict[str, int],
+    samples: _LatencySamples,
+    health: Dict[str, object],
+    status: Dict[str, object],
+    rate: Optional[float],
+) -> str:
+    """One dashboard frame as a multi-line string (unit-testable)."""
+    requests = stats.get("requests", 0)
+    quantiles = [
+        quantile_from_samples(samples, q) for q in (0.50, 0.95, 0.99)
+    ]
+    p50, p95, p99 = (
+        format_seconds(v) if v is not None else "-" for v in quantiles
+    )
+    store = status.get("store") or {}
+    health_word = str(health.get("status", "?"))
+    stuck = health.get("stuck") or {}
+    lines = [
+        "repro.serve top — "
+        + time.strftime("%H:%M:%S")
+        + (f"  [{health_word.upper()}]" if health_word != "ok" else ""),
+        f"requests  {requests:>8}   rate "
+        + (f"{rate:6.2f}/s" if rate is not None else "     -  ")
+        + f"   inflight {health.get('inflight', stats.get('inflight', 0))}",
+        f"hit       {_ratio(stats.get('hits', 0), requests)}"
+        f"   warm {_ratio(stats.get('warm_starts', 0), stats.get('searches', 0))}"
+        f"   coalesced {_ratio(stats.get('coalesced', 0), requests)}",
+        f"latency   p50 {p50:>8}   p95 {p95:>8}   p99 {p99:>8}",
+        f"searches  {stats.get('searches', 0):>8}"
+        f"   evictions {stats.get('evictions', 0)}"
+        f"   timeouts {stats.get('timeouts', 0)}"
+        f"   errors {stats.get('errors', 0)}",
+        f"store     {store.get('entries', '?')}/{store.get('capacity', '?')}"
+        f" entries   workers {status.get('workers', '?')}",
+    ]
+    if stuck:
+        lines.append(f"stuck     {stuck}")
+    return "\n".join(lines)
+
+
+def run_top(
+    host: str = "127.0.0.1",
+    port: int = 7421,
+    interval: float = 2.0,
+    once: bool = False,
+    max_frames: Optional[int] = None,
+    stream: Optional[object] = None,
+) -> int:
+    """Poll + repaint until interrupted (or ``once`` / ``max_frames``)."""
+    from ..obs.prometheus import parse_prometheus
+
+    panel = LivePanel(stream=stream)
+    previous: Optional[Tuple[float, int]] = None
+    frames = 0
+    try:
+        with Client(host, port) as client:
+            while True:
+                now = time.monotonic()
+                stats = dict(client.stats().get("stats") or {})
+                samples = parse_prometheus(client.metrics())
+                health = client.health()
+                status = client.status()
+                rate = None
+                requests = int(stats.get("requests", 0))
+                if previous is not None and now > previous[0]:
+                    rate = (requests - previous[1]) / (now - previous[0])
+                previous = (now, requests)
+                panel.paint(
+                    render_frame(stats, samples, health, status, rate)
+                )
+                frames += 1
+                if once or (max_frames is not None and frames >= max_frames):
+                    return 0
+                time.sleep(max(0.1, interval))
+    except KeyboardInterrupt:
+        return 0
+    except (ConnectionError, ServiceError, OSError) as exc:
+        print(f"error: {exc}")
+        return 1
+    finally:
+        panel.close()

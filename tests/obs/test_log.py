@@ -63,3 +63,37 @@ def test_set_run_id_token_restores():
     token = obs_log.set_run_id(None)
     assert obs_log.current_run_id() == "-"
     obs_log._run_id_var.reset(token)
+
+
+def test_request_id_context_stamps_records():
+    stream = io.StringIO()
+    obs_log.configure("info", stream=stream)
+    logger = obs_log.get_logger("repro.test_log")
+
+    logger.info("outside any request")
+    with obs_log.request_id_context("req-42beef"):
+        assert obs_log.current_request_id() == "req-42beef"
+        logger.info("inside the request")
+    assert obs_log.current_request_id() == "-"
+
+    lines = stream.getvalue().splitlines()
+    assert "req-42beef" not in lines[0]
+    assert "req-42beef" in lines[1]
+
+
+def test_run_and_request_ids_compose():
+    stream = io.StringIO()
+    obs_log.configure("info", stream=stream)
+    logger = obs_log.get_logger("repro.test_log")
+    with obs_log.run_id_context("run-a"):
+        with obs_log.request_id_context("req-b"):
+            logger.info("both stamped")
+    line = stream.getvalue().splitlines()[0]
+    assert "run-a" in line and "req-b" in line
+
+
+def test_set_request_id_token_restores():
+    token = obs_log.set_request_id("r9")
+    assert obs_log.current_request_id() == "r9"
+    obs_log._request_id_var.reset(token)
+    assert obs_log.current_request_id() == "-"

@@ -141,3 +141,126 @@ class TestResultViews:
             "search.candidates_pruned", 0
         )
         assert "search.cache.misses" in result.metrics
+
+
+class TestHistogram:
+    def test_known_distribution_lands_in_expected_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency", bounds=(0.001, 0.01, 0.1, 1.0))
+        for value in (0.0005, 0.005, 0.05, 0.5, 5.0):
+            h.observe(value)
+        # One sample per bucket, the last one in the +Inf overflow.
+        assert h.bucket_counts == [1, 1, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(5.5555)
+        assert h.min == pytest.approx(0.0005)
+        assert h.max == pytest.approx(5.0)
+
+    def test_boundary_value_goes_to_its_own_bucket(self):
+        # le-semantics: a sample exactly on a bound counts in that
+        # bound's bucket (Prometheus _bucket{le=...} convention).
+        reg = MetricsRegistry()
+        h = reg.histogram("h", bounds=(1.0, 2.0))
+        h.observe(1.0)
+        h.observe(2.0)
+        assert h.bucket_counts == [1, 1, 0]
+
+    def test_quantile_error_bounded_by_bucket_width(self):
+        from repro.obs import DEFAULT_BUCKET_BOUNDS
+
+        reg = MetricsRegistry()
+        h = reg.histogram("q")
+        samples = [0.0001 * (i + 1) for i in range(1000)]  # 0.1ms..100ms
+        for value in samples:
+            h.observe(value)
+        samples.sort()
+        for q in (0.5, 0.9, 0.95, 0.99):
+            true_value = samples[min(len(samples) - 1, int(q * len(samples)))]
+            estimate = h.quantile(q)
+            # The true value's bucket bounds the estimation error.
+            upper = next(
+                b for b in DEFAULT_BUCKET_BOUNDS if b >= true_value
+            )
+            index = DEFAULT_BUCKET_BOUNDS.index(upper)
+            lower = DEFAULT_BUCKET_BOUNDS[index - 1] if index else 0.0
+            assert abs(estimate - true_value) <= (upper - lower)
+
+    def test_quantile_edge_cases(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("edge", bounds=(1.0, 2.0))
+        assert h.quantile(0.5) == 0.0  # empty
+        h.observe(100.0)  # overflow bucket only
+        assert h.quantile(0.5) == 2.0  # reports last finite bound
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_cumulative_buckets_are_monotonic_and_end_at_count(self):
+        import math
+
+        reg = MetricsRegistry()
+        h = reg.histogram("c", bounds=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.005, 0.05, 5.0):
+            h.observe(value)
+        buckets = h.cumulative_buckets()
+        assert buckets[-1][0] == math.inf
+        assert buckets[-1][1] == h.count
+        cumulative = [count for _, count in buckets]
+        assert cumulative == sorted(cumulative)
+
+    def test_same_key_same_instrument_and_labels_distinct(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("lat", outcome="hit")
+        b = reg.histogram("lat", outcome="miss")
+        assert a is not b
+        assert reg.histogram("lat", outcome="hit") is a
+
+    def test_rejects_unsorted_bounds(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("bad", bounds=(2.0, 1.0))
+
+    def test_merge_requires_identical_bounds(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", bounds=(1.0, 2.0)).observe(1.5)
+        a.merge(b)
+        h = a.histogram("h", bounds=(1.0, 2.0))
+        assert h.count == 2
+        assert h.bucket_counts == [1, 1, 0]
+        c = MetricsRegistry()
+        c.histogram("h", bounds=(9.0,)).observe(1.0)
+        with pytest.raises(ValueError):
+            a.merge(c)
+
+    def test_snapshot_carries_count_sum_and_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for value in (0.001, 0.002, 0.004):
+            h.observe(value)
+        snap = reg.snapshot()
+        assert snap["lat.count"] == 3
+        assert snap["lat.sum"] == pytest.approx(0.007)
+        assert snap["lat.min"] == pytest.approx(0.001)
+        assert snap["lat.max"] == pytest.approx(0.004)
+        assert snap["lat.p50"] > 0.0
+        assert snap["lat.p99"] >= snap["lat.p50"]
+
+    def test_null_registry_histogram_is_inert(self):
+        reg = NullMetricsRegistry()
+        h = reg.histogram("x")
+        h.observe(1.0)
+        assert h.quantile(0.5) == 0.0
+        assert reg.snapshot() == {}
+
+
+class TestMetricKey:
+    def test_roundtrip(self):
+        from repro.obs import metric_key, parse_metric_key
+
+        key = metric_key("serve.latency", {"outcome": "hit", "a": "b"})
+        assert key == "serve.latency{a=b,outcome=hit}"
+        name, labels = parse_metric_key(key)
+        assert name == "serve.latency"
+        assert labels == {"outcome": "hit", "a": "b"}
+        assert parse_metric_key("bare.name") == ("bare.name", {})

@@ -1,0 +1,149 @@
+"""Prometheus exposition: golden output, parse-back, snapshot agreement."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.prometheus import (
+    PrometheusParseError,
+    bucket_counts_monotonic,
+    iter_families,
+    parse_prometheus,
+    prometheus_name,
+    render_prometheus,
+    sample_value,
+)
+
+
+def _populated_registry():
+    reg = MetricsRegistry()
+    reg.counter("serve.requests").inc(7)
+    reg.counter("serve.hits").inc(3)
+    reg.gauge("serve.inflight").set(2)
+    reg.timer("search.wall").add(1.5, count=4)
+    h = reg.histogram("serve.request.latency", bounds=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5, 5.0):
+        h.observe(value)
+    labeled = reg.histogram(
+        "serve.request.latency", bounds=(0.01, 0.1, 1.0), outcome="hit"
+    )
+    labeled.observe(0.005)
+    return reg
+
+
+class TestName:
+    def test_sanitization(self):
+        assert prometheus_name("serve.requests", "_total") == (
+            "repro_serve_requests_total"
+        )
+        assert prometheus_name("a-b c").startswith("repro_a_b_c")
+        assert prometheus_name("9lives").startswith("repro__9lives")
+
+
+class TestGoldenOutput:
+    def test_counter_family_renders_exactly(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests").inc(7)
+        text = render_prometheus(
+            reg, help={"serve.requests": "Requests received"}
+        )
+        assert text == (
+            "# HELP repro_serve_requests_total Requests received\n"
+            "# TYPE repro_serve_requests_total counter\n"
+            "repro_serve_requests_total 7\n"
+        )
+
+    def test_histogram_family_shape(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(0.01, 0.1))
+        h.observe(0.005)
+        h.observe(0.05)
+        h.observe(50.0)
+        text = render_prometheus(reg)
+        lines = [line for line in text.splitlines()
+                 if not line.startswith("#")]
+        assert lines == [
+            'repro_lat_seconds_bucket{le="0.01"} 1',
+            'repro_lat_seconds_bucket{le="0.1"} 2',
+            'repro_lat_seconds_bucket{le="+Inf"} 3',
+            "repro_lat_seconds_sum 50.055",
+            "repro_lat_seconds_count 3",
+        ]
+
+    def test_output_is_deterministic(self):
+        reg = _populated_registry()
+        assert render_prometheus(reg) == render_prometheus(reg)
+
+
+class TestParseBack:
+    def test_roundtrip_cross_checks_against_snapshot(self):
+        reg = _populated_registry()
+        samples = parse_prometheus(render_prometheus(reg))
+        snap = reg.snapshot()
+
+        assert sample_value(samples, "repro_serve_requests_total") == (
+            snap["serve.requests"]
+        )
+        assert sample_value(samples, "repro_serve_hits_total") == (
+            snap["serve.hits"]
+        )
+        assert sample_value(samples, "repro_serve_inflight") == (
+            snap["serve.inflight"]
+        )
+        assert sample_value(samples, "repro_search_wall_seconds_sum") == (
+            pytest.approx(snap["search.wall.seconds"])
+        )
+        assert sample_value(samples, "repro_search_wall_seconds_count") == (
+            snap["search.wall.count"]
+        )
+        # Unlabeled histogram series agree with the flat snapshot.
+        assert sample_value(
+            samples, "repro_serve_request_latency_seconds_count"
+        ) == snap["serve.request.latency.count"]
+        assert sample_value(
+            samples, "repro_serve_request_latency_seconds_sum"
+        ) == pytest.approx(snap["serve.request.latency.sum"])
+        # Labeled series carry their label set.
+        assert sample_value(
+            samples, "repro_serve_request_latency_seconds_count",
+            outcome="hit",
+        ) == 1
+        assert sample_value(
+            samples, "repro_serve_request_latency_seconds_bucket",
+            le="+Inf", outcome="hit",
+        ) == 1
+
+    def test_bucket_series_are_cumulative_monotonic(self):
+        reg = _populated_registry()
+        samples = parse_prometheus(render_prometheus(reg))
+        assert bucket_counts_monotonic(
+            samples, "repro_serve_request_latency_seconds"
+        )
+
+    def test_inf_values_roundtrip(self):
+        assert parse_prometheus("x_bucket{le=\"+Inf\"} 3")[(
+            "x_bucket", (("le", "+Inf"),)
+        )] == 3
+        samples = parse_prometheus("down -Inf\n")
+        assert samples[("down", ())] == -math.inf
+
+    def test_malformed_lines_raise(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus("!!! not a sample")
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus("name not_a_number")
+
+    def test_comments_and_blanks_are_skipped(self):
+        text = "# HELP a b\n\n# TYPE a counter\na 1\n"
+        assert parse_prometheus(text) == {("a", ()): 1.0}
+
+
+class TestFamilies:
+    def test_every_kind_declares_its_type(self):
+        reg = _populated_registry()
+        families = dict(iter_families(render_prometheus(reg)))
+        assert families["repro_serve_requests_total"] == "counter"
+        assert families["repro_serve_inflight"] == "gauge"
+        assert families["repro_search_wall_seconds"] == "summary"
+        assert families["repro_serve_request_latency_seconds"] == "histogram"

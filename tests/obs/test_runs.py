@@ -293,3 +293,21 @@ def test_config_fingerprints_stable_for_same_problem():
     fp_c = config_fingerprints(graph_c, topology, config)
     assert fp_c["graph"] != fp_a["graph"]
     assert fp_c["combined"] != fp_a["combined"]
+
+
+def test_manifest_request_id_roundtrips_and_renders(tmp_path, capsys):
+    from repro.obs.runs import RunRegistry, _render_manifest
+
+    manifest = make_manifest()
+    manifest.request_id = "req-cafe0123"
+    path = manifest.save(str(tmp_path / MANIFEST_NAME))
+    loaded = RunManifest.load(path)
+    assert loaded.request_id == "req-cafe0123"
+    rendered = _render_manifest(RunRegistry(str(tmp_path)), loaded)
+    assert "request    req-cafe0123" in rendered
+    # Absent on direct (non-service) runs, and then not rendered.
+    plain = make_manifest()
+    assert plain.request_id == ""
+    assert "request " not in _render_manifest(
+        RunRegistry(str(tmp_path)), plain
+    )

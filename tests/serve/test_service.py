@@ -87,10 +87,10 @@ class TestCoalescing:
         leader_started = threading.Event()
         release = threading.Event()
 
-        def gated_answer(document, request_key):
+        def gated_answer(document, request_key, request_id):
             leader_started.set()
             assert release.wait(30)
-            return original_answer(document, request_key)
+            return original_answer(document, request_key, request_id)
 
         service._answer = gated_answer
         results = []

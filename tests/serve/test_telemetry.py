@@ -1,0 +1,404 @@
+"""Service-grade telemetry: histograms, exposition, correlation, deadlines.
+
+Everything ISSUE 10's observability tentpole promises, counter- and
+document-verified:
+
+* every request shows up in the latency histogram, and the Prometheus
+  exposition's ``repro_serve_requests_total`` /
+  ``repro_serve_request_latency_seconds_count`` agree exactly with the
+  ``stats`` endpoint (the CI smoke gate cross-check, in miniature);
+* a client-supplied ``request_id`` flows through the response, the
+  JSONL access log, the run manifest, and ``runs show`` output — and
+  the reverse lookup (access log line -> ``run_id``) holds;
+* coalesced followers respect per-request deadlines
+  (:class:`ServeTimeout` + ``stats.timeouts``) instead of hanging;
+* the slow-request watchdog degrades ``/healthz`` while readiness
+  tracks store/shutdown state;
+* the plain-HTTP observability listener serves scrapeable documents.
+"""
+
+import asyncio
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.prometheus import parse_prometheus, sample_value
+from repro.serve import (
+    Client,
+    ServeTimeout,
+    ServiceTimeout,
+    StrategyService,
+    StrategyStore,
+    normalize_request,
+    request_fingerprint,
+    serve_forever,
+)
+from repro.serve.store import STORE_SCHEMA_VERSION
+
+FAST_CONFIG = {
+    "profiling_steps": 1, "max_rounds": 2, "min_rounds": 1,
+    "measure_steps": 1, "search": {"max_candidate_ops": 2},
+}
+
+
+def _service(tmp_path, **kwargs):
+    store = StrategyStore(root=str(tmp_path / "strategies"), capacity=16)
+    return StrategyService(store=store, **kwargs)
+
+
+def _request(**overrides):
+    request = {"model": "lenet", "topology": "pcie:2", "config": FAST_CONFIG}
+    request.update(overrides)
+    return request
+
+
+class TestHistogramsAndExposition:
+    def test_every_request_lands_in_the_latency_histogram(self, tmp_path):
+        service = _service(tmp_path)
+        service.submit(_request())           # search
+        service.submit(_request())           # cache hit
+        snap = service.metrics.snapshot()
+        assert snap["serve.request.latency.count"] == 2
+        assert snap["serve.request.latency{outcome=search}.count"] == 1
+        assert snap["serve.request.latency{outcome=cache}.count"] == 1
+        # Store lookups and the search itself were timed too.
+        assert snap["serve.store.lookup{result=miss}.count"] == 1
+        assert snap["serve.store.lookup{result=hit}.count"] == 1
+        assert snap["serve.search{result=ok,seed=cold}.count"] == 1
+
+    def test_exposition_agrees_with_stats(self, tmp_path):
+        service = _service(tmp_path)
+        service.submit(_request())
+        service.submit(_request())
+        samples = parse_prometheus(service.metrics_document())
+        stats = service.stats.to_json()
+        assert sample_value(samples, "repro_serve_requests_total") == (
+            stats["requests"]
+        )
+        assert sample_value(
+            samples, "repro_serve_request_latency_seconds_count"
+        ) == stats["requests"]
+        assert sample_value(samples, "repro_serve_hits_total") == (
+            stats["hits"]
+        )
+        assert sample_value(samples, "repro_serve_searches_total") == (
+            stats["searches"]
+        )
+
+    def test_stats_counters_mirror_into_registry(self, tmp_path):
+        service = _service(tmp_path)
+        service.submit(_request())
+        snap = service.metrics.snapshot()
+        for field, value in service.stats.to_json().items():
+            assert snap.get(f"serve.{field}", 0) == value
+
+    def test_null_registry_disables_recording(self, tmp_path):
+        from repro.obs import NullMetricsRegistry
+
+        service = _service(tmp_path, metrics=NullMetricsRegistry())
+        service.submit(_request())
+        assert service.metrics.snapshot() == {}
+        # The stats endpoint still counts.
+        assert service.stats.requests == 1
+
+
+class TestRequestCorrelation:
+    def test_request_id_flows_to_response_log_manifest_and_show(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.runs import RunRegistry, main as runs_main
+
+        access = tmp_path / "access.jsonl"
+        runs_root = str(tmp_path / "runs")
+        service = _service(
+            tmp_path, access_log=str(access),
+            record_runs=True, runs_root=runs_root,
+        )
+        response = service.submit(_request(request_id="req-abc123"))
+        assert response["request_id"] == "req-abc123"
+        run_id = response["run_id"]
+        assert run_id
+
+        # Access log: request id -> outcome + run id (reverse lookup).
+        lines = [json.loads(line) for line in access.read_text().splitlines()]
+        assert len(lines) == 1
+        assert lines[0]["request_id"] == "req-abc123"
+        assert lines[0]["run_id"] == run_id
+        assert lines[0]["outcome"] == "search"
+        assert lines[0]["total_s"] >= lines[0]["search_s"] > 0
+
+        # Manifest: run id -> request id (forward lookup).
+        manifest = RunRegistry(runs_root).load(run_id)
+        assert manifest.request_id == "req-abc123"
+        assert manifest.status == "completed"
+
+        # `runs show` prints the originating request.
+        assert runs_main(["--runs-dir", runs_root, "show", run_id]) == 0
+        out = capsys.readouterr().out
+        assert "request    req-abc123" in out
+
+    def test_server_mints_request_id_when_absent(self, tmp_path):
+        service = _service(tmp_path)
+        response = service.submit(_request())
+        assert len(response["request_id"]) == 16
+
+    def test_request_id_and_timeout_do_not_affect_coalescing_identity(self):
+        plain = normalize_request(_request())
+        tagged = normalize_request(
+            _request(request_id="x", timeout=5.0)
+        )
+        assert plain == tagged
+        assert request_fingerprint(plain, STORE_SCHEMA_VERSION) == (
+            request_fingerprint(tagged, STORE_SCHEMA_VERSION)
+        )
+
+    def test_cached_answer_reports_producing_run(self, tmp_path):
+        service = _service(
+            tmp_path, record_runs=True, runs_root=str(tmp_path / "runs"),
+        )
+        first = service.submit(_request())
+        second = service.submit(_request())
+        assert second["source"] == "cache"
+        assert second["run_id"] == first["run_id"] != ""
+
+    def test_log_records_carry_the_request_id(self, tmp_path):
+        import io
+
+        from repro.obs import log as obs_log
+
+        stream = io.StringIO()
+        handler = obs_log.configure("info", stream=stream)
+        try:
+            service = _service(tmp_path, record_runs=False)
+            service.submit(_request(request_id="logme9876"))
+        finally:
+            import logging
+
+            logging.getLogger(obs_log.ROOT_LOGGER).removeHandler(handler)
+        logged = stream.getvalue()
+        assert "logme9876" in logged
+
+
+class TestDeadlines:
+    def test_follower_times_out_with_typed_error(self, tmp_path):
+        service = _service(tmp_path)
+        document = normalize_request(_request())
+        key = request_fingerprint(document, STORE_SCHEMA_VERSION)
+        # Wedge a leader by hand: a future that never resolves.
+        from concurrent.futures import Future
+
+        stuck = Future()
+        service._inflight[key] = stuck
+        service._inflight_started[key] = time.monotonic()
+        start = time.monotonic()
+        with pytest.raises(ServeTimeout) as excinfo:
+            service.submit(_request(request_id="late1", timeout=0.2))
+        assert time.monotonic() - start < 5.0
+        assert excinfo.value.request_id == "late1"
+        assert service.stats.timeouts == 1
+        assert service.stats.coalesced == 1
+        snap = service.metrics.snapshot()
+        assert snap["serve.request.latency{outcome=timeout}.count"] == 1
+        assert snap["serve.coalesce.wait.count"] == 1
+
+    def test_service_wide_default_timeout_applies(self, tmp_path):
+        service = _service(tmp_path, request_timeout=0.2)
+        document = normalize_request(_request())
+        key = request_fingerprint(document, STORE_SCHEMA_VERSION)
+        from concurrent.futures import Future
+
+        service._inflight[key] = Future()
+        with pytest.raises(ServeTimeout):
+            service.submit(_request())
+
+    def test_timeout_outcome_reaches_the_access_log(self, tmp_path):
+        access = tmp_path / "access.jsonl"
+        service = _service(tmp_path, access_log=str(access))
+        document = normalize_request(_request())
+        key = request_fingerprint(document, STORE_SCHEMA_VERSION)
+        from concurrent.futures import Future
+
+        service._inflight[key] = Future()
+        with pytest.raises(ServeTimeout):
+            service.submit(_request(timeout=0.1))
+        record = json.loads(access.read_text().splitlines()[-1])
+        assert record["outcome"] == "timeout"
+
+
+class TestHealthAndReadiness:
+    def test_fresh_service_is_healthy_and_ready(self, tmp_path):
+        service = _service(tmp_path)
+        assert service.health()["healthy"] is True
+        assert service.readiness()["ready"] is True
+
+    def test_watchdog_degrades_health_on_stuck_request(self, tmp_path):
+        service = _service(tmp_path, watchdog_deadline=0.05)
+        with service._inflight_lock:
+            service._inflight_started["deadbeef" * 5] = (
+                time.monotonic() - 10.0
+            )
+        health = service.health()
+        assert health["status"] == "degraded"
+        assert health["healthy"] is False
+        assert health["stuck"]
+        # Readiness is orthogonal: the service can still answer.
+        assert service.readiness()["ready"] is True
+
+    def test_shutdown_flips_readiness(self, tmp_path):
+        service = _service(tmp_path)
+        service._shutting_down = True
+        readiness = service.readiness()
+        assert readiness["ready"] is False
+        assert any("shutting" in r for r in readiness["reasons"])
+
+
+class _Server:
+    """serve_forever on a background thread, with the HTTP listener."""
+
+    def __init__(self, service):
+        self.service = service
+        self.addr = {}
+        self._ready = threading.Event()
+        self._metrics_ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(serve_forever(
+            self.service, "127.0.0.1", 0,
+            ready=self._on_ready,
+            metrics_port=0, metrics_ready=self._on_metrics_ready,
+        ))
+
+    def _on_ready(self, host, port):
+        self.addr["tcp"] = (host, port)
+        self._ready.set()
+
+    def _on_metrics_ready(self, host, port):
+        self.addr["http"] = (host, port)
+        self._metrics_ready.set()
+
+    def __enter__(self):
+        self.thread.start()
+        assert self._ready.wait(30) and self._metrics_ready.wait(30)
+        return self
+
+    def __exit__(self, *exc):
+        try:
+            with Client(*self.addr["tcp"]) as client:
+                client.shutdown()
+        except OSError:
+            pass
+        self.thread.join(30)
+
+
+@pytest.fixture
+def server(tmp_path):
+    with _Server(_service(tmp_path)) as srv:
+        yield srv
+
+
+class TestHttpListener:
+    def _get(self, server, path):
+        host, port = server.addr["http"]
+        return urllib.request.urlopen(
+            f"http://{host}:{port}{path}", timeout=30
+        )
+
+    def test_metrics_scrape_parses_and_matches_stats(self, server):
+        host, port = server.addr["tcp"]
+        with Client(host, port) as client:
+            client.optimize(
+                "lenet", "pcie:2", config=FAST_CONFIG, request_id="http-1"
+            )
+            stats = client.stats()["stats"]
+        with self._get(server, "/metrics") as response:
+            assert response.status == 200
+            assert "text/plain" in response.headers["Content-Type"]
+            body = response.read().decode()
+        samples = parse_prometheus(body)
+        assert sample_value(samples, "repro_serve_requests_total") == (
+            stats["requests"]
+        )
+        assert sample_value(
+            samples, "repro_serve_request_latency_seconds_count"
+        ) == stats["requests"]
+
+    def test_healthz_and_readyz(self, server):
+        with self._get(server, "/healthz") as response:
+            assert response.status == 200
+            assert json.loads(response.read())["healthy"] is True
+        with self._get(server, "/readyz") as response:
+            assert response.status == 200
+            assert json.loads(response.read())["ready"] is True
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(server, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_protocol_verbs_cover_the_same_documents(self, server):
+        host, port = server.addr["tcp"]
+        with Client(host, port) as client:
+            assert "repro_serve_requests_total" in client.metrics()
+            assert client.health()["healthy"] is True
+            assert client.readiness()["ready"] is True
+
+    def test_client_timeout_surfaces_as_service_timeout(self, server):
+        service = server.service
+        document = normalize_request(_request())
+        key = request_fingerprint(document, STORE_SCHEMA_VERSION)
+        from concurrent.futures import Future
+
+        service._inflight[key] = Future()
+        host, port = server.addr["tcp"]
+        try:
+            with Client(host, port) as client:
+                with pytest.raises(ServiceTimeout):
+                    client.optimize(
+                        "lenet", "pcie:2", config=FAST_CONFIG, timeout=0.2
+                    )
+        finally:
+            service._inflight.pop(key, None)
+
+
+class TestTopDashboard:
+    def test_renders_frames_from_live_endpoints(self, server, tmp_path):
+        import io
+
+        from repro.serve.top import run_top
+
+        host, port = server.addr["tcp"]
+        with Client(host, port) as client:
+            client.optimize("lenet", "pcie:2", config=FAST_CONFIG)
+            client.optimize("lenet", "pcie:2", config=FAST_CONFIG)
+        buffer = io.StringIO()
+        assert run_top(
+            host, port, interval=0.05, max_frames=2, stream=buffer
+        ) == 0
+        frame = buffer.getvalue()
+        assert "repro.serve top" in frame
+        assert "requests" in frame
+        assert "p50" in frame and "p95" in frame and "p99" in frame
+        assert "hit " in frame
+
+    def test_quantiles_from_scraped_histogram(self):
+        from repro.serve.top import quantile_from_samples
+
+        text = "\n".join([
+            'repro_serve_request_latency_seconds_bucket{le="0.1"} 5',
+            'repro_serve_request_latency_seconds_bucket{le="1.0"} 9',
+            'repro_serve_request_latency_seconds_bucket{le="+Inf"} 10',
+        ])
+        samples = parse_prometheus(text)
+        p50 = quantile_from_samples(samples, 0.5)
+        assert p50 == pytest.approx(0.1)
+        # q inside the second bucket interpolates between its bounds.
+        p80 = quantile_from_samples(samples, 0.8)
+        assert 0.1 < p80 <= 1.0
+        # Overflow quantile reports the last finite bound.
+        assert quantile_from_samples(samples, 1.0) == pytest.approx(1.0)
+        assert quantile_from_samples(samples, 0.5, family="absent") is None
